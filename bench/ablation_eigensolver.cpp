@@ -1,0 +1,89 @@
+// Ablation A9 — the second higher-level application: a distributed
+// eigensolver built on gossip reductions (the paper's reference [9] follows
+// exactly this recipe). Two tables:
+//
+//  * failure-free — at small n both reduction algorithms reach the target
+//    inside the cap, so the eigensolver is equally accurate with either
+//    (push the sweep to --max-dims=9+ to see PF's accuracy floor leak
+//    through, as in Fig. 8);
+//  * one permanent link failure injected late into EVERY reduction — PF's
+//    restart-on-exclusion throws almost-converged reductions back to O(1)
+//    error just before the cap, which wrecks the factorizations inside the
+//    iteration; PCF's exclusion is free and the eigensolver never notices.
+//    This is Fig. 7's story surfacing two abstraction layers up.
+#include "bench_common.hpp"
+#include "linalg/distributed_eigen.hpp"
+#include "linalg/eigen_ref.hpp"
+
+namespace pcf::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  CliFlags flags;
+  define_common_flags(flags);
+  flags.define("min-dims", std::int64_t{4}, "smallest hypercube dimension");
+  flags.define("max-dims", std::int64_t{7}, "largest hypercube dimension");
+  flags.define("pairs", std::int64_t{2}, "dominant eigenpairs to compute");
+  flags.define("iterations", std::int64_t{200}, "orthogonal-iteration steps");
+  flags.define("max-rounds", std::int64_t{500}, "per-reduction iteration cap");
+  flags.define("epsilon", 1e-15,
+               "per-reduction target accuracy (tight, so reductions run until the cap and the "
+               "injected failure actually lands mid-flight)");
+  flags.define("fail-at", 450.0,
+               "failure-injected table: round (within each reduction) at which a link dies");
+  if (!flags.parse(argc, argv)) return 0;
+  print_banner("ablation_eigensolver",
+               "distributed eigensolver (orthogonal iteration over gossip reductions)");
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const double fail_at = flags.get_double("fail-at");
+
+  for (const bool with_failure : {false, true}) {
+    std::printf("--- %s ---\n", with_failure
+                                    ? "one link failure inside every reduction"
+                                    : "failure-free");
+    Table table({"n", "algorithm", "max_residual", "orthogonality", "eigval_error",
+                 "eigval_disagreement", "reductions"});
+    for (auto dims = static_cast<std::size_t>(flags.get_int("min-dims"));
+         dims <= static_cast<std::size_t>(flags.get_int("max-dims")); ++dims) {
+      const auto topology = net::Topology::hypercube(dims);
+      const auto m = linalg::NetworkMatrix::shifted_adjacency(topology);
+      // Exact spectrum of the shifted hypercube adjacency: (d+1) + d − 2m.
+      const double exact_top = 2.0 * static_cast<double>(dims) + 1.0;
+
+      for (const auto algorithm :
+           {core::Algorithm::kPushFlow, core::Algorithm::kPushCancelFlow}) {
+        linalg::DistributedEigenOptions options;
+        options.algorithm = algorithm;
+        options.seed = seed;
+        options.num_pairs = static_cast<std::size_t>(flags.get_int("pairs"));
+        options.iterations = static_cast<std::size_t>(flags.get_int("iterations"));
+        options.reduction_accuracy = flags.get_double("epsilon");
+        options.max_rounds_per_reduction =
+            static_cast<std::size_t>(flags.get_int("max-rounds"));
+        if (with_failure) {
+          options.faults.link_failures.push_back({fail_at, 0, 1});
+        }
+        const auto result = linalg::distributed_eigen(m, options);
+        const auto residuals = result.residuals(m);
+        double max_residual = 0.0;
+        for (double r : residuals) max_residual = std::max(max_residual, r);
+        table.add_row({Table::num(static_cast<std::int64_t>(topology.size())),
+                       std::string(core::to_string(algorithm)), Table::sci(max_residual),
+                       Table::sci(linalg::orthogonality_error(result.eigenvectors)),
+                       Table::sci(std::abs(result.eigenvalues[0] - exact_top)),
+                       Table::sci(result.eigenvalue_disagreement),
+                       Table::num(static_cast<std::int64_t>(result.reductions))});
+        std::fflush(stdout);
+      }
+    }
+    emit(table, flags);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcf::bench
+
+int main(int argc, char** argv) { return pcf::bench::run(argc, argv); }

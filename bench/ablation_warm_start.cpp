@@ -1,0 +1,70 @@
+// Ablation A10 — warm-started reduction sessions vs. cold reductions.
+//
+// The paper's introduction argues that higher-level operations "can benefit
+// from the iterative nature of gossip-based reduction algorithms for saving
+// communication costs". This ablation quantifies it for a monitoring
+// workload: the same aggregate is re-queried as the inputs drift by a given
+// relative step. A cold reduction always descends from O(1) error to the
+// target; a warm session only closes the gap the drift opened, so its cost
+// scales with log(drift)/log(target).
+#include "bench_common.hpp"
+#include "sim/session.hpp"
+#include "support/stats.hpp"
+
+namespace pcf::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  CliFlags flags;
+  define_common_flags(flags);
+  flags.define("dims", std::int64_t{6}, "hypercube dimension");
+  flags.define("queries", std::int64_t{20}, "warm queries per drift level");
+  flags.define("epsilon", 1e-10, "target accuracy per query");
+  if (!flags.parse(argc, argv)) return 0;
+  print_banner("ablation_warm_start",
+               "warm reduction sessions vs. cold restarts for drifting inputs");
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto queries = static_cast<std::size_t>(flags.get_int("queries"));
+  const double epsilon = flags.get_double("epsilon");
+  const auto topology = net::Topology::hypercube(static_cast<std::size_t>(flags.get_int("dims")));
+
+  Table table({"drift", "cold_rounds", "warm_rounds(mean)", "saving", "warm_max_error"});
+  for (const double drift : {1e-2, 1e-4, 1e-6, 1e-8}) {
+    auto values = random_inputs(topology.size(), seed);
+    for (auto& v : values) v += 1.0;  // keep magnitudes comparable (see session.hpp)
+    auto to_inputs = [&] {
+      std::vector<core::Values> inputs;
+      inputs.reserve(values.size());
+      for (double v : values) inputs.push_back(core::Values{v});
+      return inputs;
+    };
+    sim::SessionOptions options;
+    options.seed = seed;
+    options.target_accuracy = epsilon;
+    sim::ReductionSession session(topology, to_inputs(), options);
+    const auto cold = session.query(to_inputs());
+
+    Rng drift_rng(seed ^ 0xd21f7);
+    RunningStats warm_rounds;
+    double worst_error = 0.0;
+    for (std::size_t q = 0; q < queries; ++q) {
+      for (auto& v : values) v *= 1.0 + drift_rng.uniform(-drift, drift);
+      const auto reply = session.query(to_inputs());
+      warm_rounds.add(static_cast<double>(reply.rounds));
+      worst_error = std::max(worst_error, reply.max_error);
+    }
+    const double saving = 1.0 - warm_rounds.mean() / static_cast<double>(cold.rounds);
+    table.add_row({Table::sci(drift, 0), Table::num(static_cast<std::int64_t>(cold.rounds)),
+                   Table::fixed(warm_rounds.mean(), 1),
+                   Table::fixed(100.0 * saving, 1) + "%", Table::sci(worst_error)});
+    std::fflush(stdout);
+  }
+  emit(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcf::bench
+
+int main(int argc, char** argv) { return pcf::bench::run(argc, argv); }

@@ -1,0 +1,17 @@
+// The accuracy-vs-scale sweep shared by the Fig. 3 (push-flow) and Fig. 6
+// (push-cancel-flow) benches: 3D torus (2^i)^3 and hypercube 2^{3i}
+// topologies, SUM and AVG aggregates, n = 2^3 … 2^max_exp, measuring the
+// globally achievable accuracy (best max local error of a converged run).
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace pcf::bench {
+
+/// Defines the sweep's flags on top of the common ones.
+void define_accuracy_flags(CliFlags& flags);
+
+/// Runs the sweep for `algorithm` and prints/emits the figure's series.
+void run_accuracy_sweep(core::Algorithm algorithm, const CliFlags& flags);
+
+}  // namespace pcf::bench

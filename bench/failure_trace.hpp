@@ -1,0 +1,20 @@
+// The single-permanent-link-failure experiment shared by the Fig. 4
+// (push-flow) and Fig. 7 (push-cancel-flow) benches: 6D hypercube, one link
+// failure handled after 75 (left panel) / 175 (right panel) iterations, 200
+// iterations total, max and median local error per iteration. Both benches
+// use the same seed, so the schedules — and hence the error curves until the
+// failure — are directly comparable, exactly as in the paper.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace pcf::bench {
+
+void define_failure_flags(CliFlags& flags);
+
+/// Runs both panels for `algorithm`. If `compare_with_pf` (Fig. 7), the PF
+/// series on the same schedule is printed alongside, mirroring how the paper
+/// overlays the Fig. 4 curves in light colors.
+void run_failure_trace(core::Algorithm algorithm, bool compare_with_pf, const CliFlags& flags);
+
+}  // namespace pcf::bench

@@ -1,0 +1,18 @@
+// Figure 3 — "Globally achievable accuracy with the PF algorithm for
+// increasing system size, different topologies and different types of
+// aggregations."
+//
+// Expected shape: the best achievable max local error of push-flow GROWS
+// with n (flows grow with scale while the aggregate stays O(1), causing
+// cancellation); compare bench/fig6_pcf_accuracy, where PCF stays at
+// machine-precision level.
+#include "accuracy_sweep.hpp"
+
+int main(int argc, char** argv) {
+  pcf::CliFlags flags;
+  pcf::bench::define_accuracy_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+  pcf::bench::print_banner("fig3_pf_accuracy", "Figure 3 — PF achievable accuracy vs. n");
+  pcf::bench::run_accuracy_sweep(pcf::core::Algorithm::kPushFlow, flags);
+  return 0;
+}

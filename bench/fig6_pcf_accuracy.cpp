@@ -1,0 +1,16 @@
+// Figure 6 — the accuracy experiments of Fig. 3 repeated with the
+// push-cancel-flow algorithm.
+//
+// Expected shape: the best achievable max local error stays near machine
+// precision (~1e-15..1e-14) at every scale, topology and aggregate — in
+// strong contrast to PF (bench/fig3_pf_accuracy), whose error grows with n.
+#include "accuracy_sweep.hpp"
+
+int main(int argc, char** argv) {
+  pcf::CliFlags flags;
+  pcf::bench::define_accuracy_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+  pcf::bench::print_banner("fig6_pcf_accuracy", "Figure 6 — PCF achievable accuracy vs. n");
+  pcf::bench::run_accuracy_sweep(pcf::core::Algorithm::kPushCancelFlow, flags);
+  return 0;
+}

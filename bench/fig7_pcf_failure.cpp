@@ -1,0 +1,19 @@
+// Figure 7 — the failure experiments of Fig. 4 repeated with the
+// push-cancel-flow algorithm; the PF series on the SAME schedule (same seed)
+// is printed alongside, as the paper overlays it in light colors.
+//
+// Expected shape: identical curves until the failure handling (same
+// schedule, equivalent algorithms); afterwards PCF continues converging with
+// no fall-back while PF restarts from ~its initial error.
+#include "failure_trace.hpp"
+
+int main(int argc, char** argv) {
+  pcf::CliFlags flags;
+  pcf::bench::define_failure_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+  pcf::bench::print_banner("fig7_pcf_failure",
+                           "Figure 7 — PCF under the Fig. 4 failure experiments (PF overlaid)");
+  pcf::bench::run_failure_trace(pcf::core::Algorithm::kPushCancelFlow, /*compare_with_pf=*/true,
+                                flags);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// sensor_grid — live monitoring of a failing sensor field.
+//
+// A 12×12 grid of temperature sensors (torus-wrapped, nearest-neighbor radio
+// links) continuously gossips the field average with push-cancel-flow. The
+// network is hostile: 15% of packets are lost, every 500th packet suffers a
+// random bit flip, two radio links burn out mid-run, and one sensor dies
+// completely. The example prints the evolving worst-case estimate error and
+// shows the computation riding through every fault.
+//
+//   $ sensor_grid [--rows N] [--cols N] [--seed S]
+#include <cstdio>
+
+#include "sim/engine_sync.hpp"
+#include "sim/reduce.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcf;
+
+  CliFlags flags;
+  flags.define("rows", std::int64_t{12}, "sensor grid rows");
+  flags.define("cols", std::int64_t{12}, "sensor grid columns");
+  flags.define("seed", std::int64_t{7}, "simulation seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto rows = static_cast<std::size_t>(flags.get_int("rows"));
+  const auto cols = static_cast<std::size_t>(flags.get_int("cols"));
+  const auto topology = net::Topology::grid2d(rows, cols, /*wrap=*/true);
+
+  // Temperature field: a warm spot around the grid center plus noise.
+  Rng field_rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  std::vector<double> temperatures(topology.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double dr = (static_cast<double>(r) - static_cast<double>(rows) / 2) /
+                        static_cast<double>(rows);
+      const double dc = (static_cast<double>(c) - static_cast<double>(cols) / 2) /
+                        static_cast<double>(cols);
+      temperatures[r * cols + c] = 18.0 + 6.0 * (1.0 - dr * dr - dc * dc) +
+                                   field_rng.uniform(-0.3, 0.3);
+    }
+  }
+
+  sim::SyncEngineConfig config;
+  config.algorithm = core::Algorithm::kPushCancelFlow;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.faults.message_loss_prob = 0.15;
+  config.faults.bit_flip_prob = 0.002;
+  // Two radio links burn out, then a sensor dies.
+  config.faults.link_failures.push_back({120.0, 0, 1});
+  config.faults.link_failures.push_back(
+      {240.0, static_cast<net::NodeId>(cols), static_cast<net::NodeId>(cols + 1)});
+  config.faults.node_crashes.push_back({400.0, static_cast<net::NodeId>(topology.size() / 2)});
+
+  const auto masses = sim::masses_from_values(temperatures, core::Aggregate::kAverage);
+  sim::SyncEngine engine(topology, masses, config);
+
+  std::printf("%zu sensors on a wrapped %zux%zu grid; field average %.4f degC\n",
+              topology.size(), rows, cols, engine.oracle().target());
+  std::printf("faults: 15%% packet loss, 0.2%% bit flips, link failures @120/@240, "
+              "sensor crash @400\n\n");
+  std::printf("%8s  %14s  %14s  %12s\n", "round", "max error", "median error", "target");
+
+  for (int checkpoint = 1; checkpoint <= 12; ++checkpoint) {
+    engine.run(60);
+    std::printf("%8zu  %14.3e  %14.3e  %12.6f%s\n", engine.round(), engine.max_error(),
+                engine.median_error(), engine.oracle().target(),
+                engine.round() == 420 ? "   <- target re-based after sensor crash" : "");
+  }
+
+  std::printf("\nsurviving sensors read %.6f degC (%zu messages, %zu lost, %zu corrupted)\n",
+              engine.estimates()[0], engine.stats().messages_sent,
+              engine.stats().messages_dropped, engine.stats().messages_flipped);
+  std::printf("note: bit flips keep arriving, so the error floor tracks the corruption rate —\n"
+              "      every flip is healed within a few exchanges, none is fatal.\n");
+  // Success = the field estimate is within 0.1 degC despite everything.
+  return engine.median_error() < 5e-3 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#include "core/allreduce.hpp"
+
+#include "support/check.hpp"
+
+namespace pcf::core {
+
+AllreduceResult recursive_doubling_sum(std::span<const double> values) {
+  const std::size_t n = values.size();
+  PCF_CHECK_MSG(n > 0 && (n & (n - 1)) == 0, "recursive doubling requires a power-of-two n");
+  AllreduceResult r;
+  r.per_node.assign(values.begin(), values.end());
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    // Each round every node exchanges with its partner at XOR distance
+    // `stride` and both add the partner's current value.
+    std::vector<double> next = r.per_node;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = r.per_node[i] + r.per_node[i ^ stride];
+      ++r.messages;
+    }
+    r.per_node = std::move(next);
+    ++r.rounds;
+  }
+  return r;
+}
+
+AllreduceResult tree_sum(std::span<const double> values) {
+  const std::size_t n = values.size();
+  PCF_CHECK_MSG(n > 0, "tree_sum needs at least one value");
+  AllreduceResult r;
+  std::vector<double> partial(values.begin(), values.end());
+  // Reduce phase: binomial tree toward node 0.
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+      partial[i] += partial[i + stride];
+      ++r.messages;
+    }
+    ++r.rounds;
+  }
+  // Broadcast phase: mirror of the reduce tree.
+  std::size_t top = 1;
+  while (top < n) top <<= 1;
+  for (std::size_t stride = top >> 1; stride >= 1; stride >>= 1) {
+    for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+      partial[i + stride] = partial[i];
+      ++r.messages;
+    }
+    ++r.rounds;
+    if (stride == 1) break;
+  }
+  r.per_node = std::move(partial);
+  return r;
+}
+
+}  // namespace pcf::core

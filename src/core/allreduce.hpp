@@ -1,0 +1,33 @@
+// Deterministic parallel all-to-all reduction baselines.
+//
+// Classical HPC allreduce needs a synchronized, pre-planned communication
+// schedule and produces exact (bit-identical) results on every node in
+// O(log n) rounds — but a single lost message corrupts the result on many
+// nodes. These reference implementations exist to compare round counts and
+// floating-point accuracy against the gossip algorithms (ablation A6) and to
+// give tests an independent reference reduction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pcf::core {
+
+struct AllreduceResult {
+  /// Per-node results after the final round (all equal for these algorithms).
+  std::vector<double> per_node;
+  /// Number of communication rounds executed.
+  std::size_t rounds = 0;
+  /// Total point-to-point messages sent.
+  std::size_t messages = 0;
+};
+
+/// Recursive-doubling allreduce (Thakur & Gropp). Requires n to be a power of
+/// two; every node ends with the sum of all inputs in ceil(log2 n) rounds.
+[[nodiscard]] AllreduceResult recursive_doubling_sum(std::span<const double> values);
+
+/// Binomial-tree reduce-then-broadcast for arbitrary n (2·ceil(log2 n) rounds).
+[[nodiscard]] AllreduceResult tree_sum(std::span<const double> values);
+
+}  // namespace pcf::core

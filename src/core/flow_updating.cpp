@@ -1,0 +1,121 @@
+#include "core/flow_updating.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace pcf::core {
+
+void FlowUpdating::init(NodeId /*self*/, std::span<const NodeId> neighbors, Mass initial) {
+  PCF_CHECK_MSG(!initialized_, "reducer initialized twice");
+  PCF_CHECK_MSG(!neighbors.empty(), "node needs at least one neighbor");
+  neighbors_.init(neighbors);
+  initial_ = std::move(initial);
+  flows_.assign(neighbors_.size(), Mass::zero(initial_.dim()));
+  estimates_.assign(neighbors_.size(), Mass::zero(initial_.dim()));
+  have_estimate_.assign(neighbors_.size(), false);
+  initialized_ = true;
+}
+
+Mass FlowUpdating::local_mass() const {
+  PCF_CHECK_MSG(initialized_, "local_mass before init");
+  Mass m = initial_;
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    if (neighbors_.alive_at(slot)) m -= flows_[slot];
+  }
+  return m;
+}
+
+Mass FlowUpdating::fused() const {
+  Mass acc = local_mass();
+  std::size_t count = 1;
+  for (std::size_t slot = 0; slot < estimates_.size(); ++slot) {
+    if (!neighbors_.alive_at(slot) || !have_estimate_[slot]) continue;
+    acc += estimates_[slot];
+    ++count;
+  }
+  const double inv = 1.0 / static_cast<double>(count);
+  for (auto& v : acc.s) v *= inv;
+  acc.w *= inv;
+  return acc;
+}
+
+double FlowUpdating::estimate(std::size_t k) const { return fused().estimate(k); }
+
+std::optional<Outgoing> FlowUpdating::make_message(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto target = neighbors_.pick_live(rng);
+  if (!target) return std::nullopt;
+  return make_message_to(*target);
+}
+
+std::optional<Outgoing> FlowUpdating::make_message_to(NodeId target) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto slot_opt = neighbors_.slot_of(target);
+  if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return std::nullopt;
+  const std::size_t slot = *slot_opt;
+
+  const Mass a = fused();
+  // Move the neighbor's view toward the fused estimate: after the update the
+  // mass routed over this edge reflects ê_j := a.
+  Mass delta = a;
+  if (have_estimate_[slot]) delta -= estimates_[slot];
+  flows_[slot] += delta;
+  estimates_[slot] = a;
+  have_estimate_[slot] = true;
+
+  Outgoing out;
+  out.to = target;
+  out.packet.a = flows_[slot];  // idempotent flow — retransmission-safe
+  out.packet.b = a;             // sender's fused estimate
+  return out;
+}
+
+void FlowUpdating::on_receive(NodeId from, const Packet& packet) {
+  PCF_CHECK_MSG(initialized_, "on_receive before init");
+  const auto slot = neighbors_.slot_of(from);
+  if (!slot || !neighbors_.alive_at(*slot)) return;
+  if (packet.a.dim() != initial_.dim() || packet.b.dim() != initial_.dim()) return;
+  flows_[*slot] = packet.a.negated();
+  estimates_[*slot] = packet.b;
+  have_estimate_[*slot] = true;
+}
+
+void FlowUpdating::update_data(const Mass& delta) {
+  PCF_CHECK_MSG(initialized_, "update_data before init");
+  PCF_CHECK_MSG(delta.dim() == initial_.dim(), "update_data dimension mismatch");
+  initial_ += delta;
+}
+
+void FlowUpdating::on_link_down(NodeId j) {
+  const auto slot = neighbors_.mark_dead(j);
+  if (!slot) return;
+  flows_[*slot].set_zero();
+  estimates_[*slot].set_zero();
+  have_estimate_[*slot] = false;
+}
+
+bool FlowUpdating::corrupt_stored_flow(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "corrupt_stored_flow before init");
+  const auto slot = static_cast<std::size_t>(rng.below(flows_.size()));
+  const auto component = static_cast<std::size_t>(rng.below(flows_[slot].dim() + 1));
+  double& victim = component < flows_[slot].dim() ? flows_[slot].s[component] : flows_[slot].w;
+  std::uint64_t bit = rng.below(53);
+  if (bit == 52) bit = 63;  // sign bit
+  std::uint64_t bits;
+  std::memcpy(&bits, &victim, sizeof bits);
+  bits ^= (std::uint64_t{1} << bit);
+  std::memcpy(&victim, &bits, sizeof bits);
+  return true;
+}
+
+double FlowUpdating::max_abs_flow_component() const noexcept {
+  double best = 0.0;
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    if (!neighbors_.alive_at(slot)) continue;
+    for (double v : flows_[slot].s) best = std::max(best, std::fabs(v));
+    best = std::max(best, std::fabs(flows_[slot].w));
+  }
+  return best;
+}
+
+}  // namespace pcf::core

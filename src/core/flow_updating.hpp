@@ -1,0 +1,66 @@
+// Flow Updating (Jesus, Baquero, Almeida — DAIS 2009), gossip-paced variant.
+//
+// Another flow-based fault-tolerant aggregation protocol, included as the
+// baseline family the paper's related work cites. A node keeps, per neighbor,
+// a flow f_{i,j} and the neighbor's last reported fused estimate ê_j. Each
+// step it fuses its own mass with the neighborhood estimates,
+//
+//     a_i = ( (v_i − Σ_j f_{i,j}) + Σ_j ê_j ) / (|N_i| + 1),
+//
+// then adjusts the flow toward the chosen neighbor so that the neighbor's
+// view moves to a_i, and transmits (f_{i,j}, a_i). The receiver overwrites
+// its mirror flow with the exact negation, which gives FU the same
+// self-healing against message loss / flow corruption as push-flow.
+//
+// Deviations from the DAIS'09 paper (documented in DESIGN.md):
+//  * the original broadcasts to all neighbors every tick; to share the
+//    engines' one-message-per-step gossip pacing we update/transmit toward a
+//    single uniformly random neighbor per step (the averaging step itself
+//    still fuses over the whole neighborhood);
+//  * payloads are (s, w) mass pairs averaged component-wise, so SUM is
+//    supported through the ratio of averages (avg x / avg w = Σx / Σw).
+#pragma once
+
+#include <vector>
+
+#include "core/neighbor_set.hpp"
+#include "core/reducer.hpp"
+
+namespace pcf::core {
+
+class FlowUpdating final : public Reducer {
+ public:
+  explicit FlowUpdating(const ReducerConfig& config) : config_(config) {}
+
+  void init(NodeId self, std::span<const NodeId> neighbors, Mass initial) override;
+  [[nodiscard]] std::optional<Outgoing> make_message(Rng& rng) override;
+  [[nodiscard]] std::optional<Outgoing> make_message_to(NodeId target) override;
+  void on_receive(NodeId from, const Packet& packet) override;
+  /// The conserved quantity: v_i − Σ_j f_{i,j}.
+  [[nodiscard]] Mass local_mass() const override;
+  /// Fused neighborhood estimate ratio (a_i), not the raw mass ratio.
+  [[nodiscard]] double estimate(std::size_t k = 0) const override;
+  void on_link_down(NodeId j) override;
+  void update_data(const Mass& delta) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "flow-updating"; }
+  [[nodiscard]] std::size_t live_degree() const noexcept override {
+    return neighbors_.live_count();
+  }
+  [[nodiscard]] double max_abs_flow_component() const noexcept override;
+  [[nodiscard]] std::size_t wire_masses() const noexcept override { return 2; }
+  bool corrupt_stored_flow(Rng& rng) override;
+
+ private:
+  /// Component-wise fused average over own mass and live neighbor estimates.
+  [[nodiscard]] Mass fused() const;
+
+  ReducerConfig config_;
+  NeighborSet neighbors_;
+  Mass initial_;
+  std::vector<Mass> flows_;      // f_{i,j}
+  std::vector<Mass> estimates_;  // ê_j as last reported by neighbor j
+  std::vector<bool> have_estimate_;
+  bool initialized_ = false;
+};
+
+}  // namespace pcf::core

@@ -1,0 +1,132 @@
+// Mass pairs — the quantity conserved by gossip-based reduction.
+//
+// Every node starts with a mass (x_i, w_i): a value vector x_i ∈ R^d and a
+// scalar weight w_i. All algorithms in src/core exchange (fractions of, or
+// flows of) such pairs, and every local estimate of the global aggregate is
+// the component-wise ratio  s[k]/w  of a node's current mass.
+//
+// The vector payload (d up to kMaxDim) lets higher-level code batch several
+// scalar reductions into one gossip run — the distributed QR batches a whole
+// row of R this way.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "support/inline_vector.hpp"
+
+namespace pcf::core {
+
+/// Maximum payload dimension carried by one reduction.
+inline constexpr std::size_t kMaxDim = 16;
+
+using Values = InlineVector<double, kMaxDim>;
+
+struct Mass {
+  Values s;       ///< value components
+  double w = 0.0; ///< weight component
+
+  Mass() = default;
+  Mass(Values values, double weight) : s(std::move(values)), w(weight) {}
+
+  /// Zero mass of dimension `dim`.
+  [[nodiscard]] static Mass zero(std::size_t dim) { return Mass(Values(dim, 0.0), 0.0); }
+
+  /// Scalar convenience constructor.
+  [[nodiscard]] static Mass scalar(double value, double weight) {
+    return Mass(Values{value}, weight);
+  }
+
+  [[nodiscard]] std::size_t dim() const noexcept { return s.size(); }
+
+  Mass& operator+=(const Mass& o) noexcept {
+    PCF_ASSERT(dim() == o.dim());
+    for (std::size_t k = 0; k < s.size(); ++k) s[k] += o.s[k];
+    w += o.w;
+    return *this;
+  }
+
+  Mass& operator-=(const Mass& o) noexcept {
+    PCF_ASSERT(dim() == o.dim());
+    for (std::size_t k = 0; k < s.size(); ++k) s[k] -= o.s[k];
+    w -= o.w;
+    return *this;
+  }
+
+  [[nodiscard]] friend Mass operator+(Mass a, const Mass& b) noexcept { return a += b; }
+  [[nodiscard]] friend Mass operator-(Mass a, const Mass& b) noexcept { return a -= b; }
+
+  /// Exact negation (negation is exact in IEEE-754, so flow conservation
+  /// f_{i,j} = -f_{j,i} can hold bit-exactly after one delivery).
+  [[nodiscard]] Mass negated() const {
+    Mass r = *this;
+    for (auto& v : r.s) v = -v;
+    r.w = -r.w;
+    return r;
+  }
+
+  /// Half of the mass (multiplication by 0.5 is exact).
+  [[nodiscard]] Mass half() const {
+    Mass r = *this;
+    for (auto& v : r.s) v *= 0.5;
+    r.w *= 0.5;
+    return r;
+  }
+
+  void set_zero() noexcept {
+    for (auto& v : s) v = 0.0;
+    w = 0.0;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (double v : s) {
+      if (v != 0.0) return false;
+    }
+    return w == 0.0;
+  }
+
+  /// Component-wise exact equality — used by PCF's cancellation handshake,
+  /// which must only fire when flow conservation holds exactly.
+  friend bool operator==(const Mass& a, const Mass& b) noexcept {
+    if (a.w != b.w || a.dim() != b.dim()) return false;
+    for (std::size_t k = 0; k < a.s.size(); ++k) {
+      if (a.s[k] != b.s[k]) return false;
+    }
+    return true;
+  }
+
+  /// True iff this mass is the exact negation of `o`.
+  [[nodiscard]] bool is_negation_of(const Mass& o) const noexcept {
+    if (w != -o.w || dim() != o.dim()) return false;
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      if (s[k] != -o.s[k]) return false;
+    }
+    return true;
+  }
+
+  /// Local estimate of aggregate component k: s[k]/w. When the weight is
+  /// still zero (e.g. SUM reductions before the unit weight reached this
+  /// node) the ratio is undefined; we return 0 so error metrics report a
+  /// full-magnitude error instead of NaN.
+  [[nodiscard]] double estimate(std::size_t k = 0) const noexcept {
+    PCF_ASSERT(k < dim());
+    if (w == 0.0) return 0.0;
+    return s[k] / w;
+  }
+};
+
+/// The aggregate a reduction computes: with per-node inputs x_i,
+///   kAverage:  (Σ x_i) / n   (weights w_i = 1 everywhere)
+///   kSum:      Σ x_i         (weight w_0 = 1, all other w_i = 0)
+enum class Aggregate { kSum, kAverage };
+
+[[nodiscard]] constexpr std::string_view to_string(Aggregate a) noexcept {
+  return a == Aggregate::kSum ? "SUM" : "AVG";
+}
+
+/// Initial weight for node `i` under aggregate type `a`.
+[[nodiscard]] constexpr double initial_weight(Aggregate a, std::size_t i) noexcept {
+  return a == Aggregate::kAverage ? 1.0 : (i == 0 ? 1.0 : 0.0);
+}
+
+}  // namespace pcf::core

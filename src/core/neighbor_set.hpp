@@ -1,0 +1,62 @@
+// Shared per-node neighbor bookkeeping for reducer implementations: sorted
+// id -> slot lookup, liveness flags, and uniform sampling among live
+// neighbors.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pcf::core {
+
+class NeighborSet {
+ public:
+  void init(std::span<const net::NodeId> neighbors) {
+    ids_.assign(neighbors.begin(), neighbors.end());
+    std::sort(ids_.begin(), ids_.end());
+    PCF_CHECK_MSG(std::adjacent_find(ids_.begin(), ids_.end()) == ids_.end(),
+                  "duplicate neighbor id");
+    alive_.assign(ids_.size(), true);
+    live_ = ids_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_.size(); }
+  [[nodiscard]] net::NodeId id_at(std::size_t slot) const noexcept { return ids_[slot]; }
+  [[nodiscard]] bool alive_at(std::size_t slot) const noexcept { return alive_[slot]; }
+
+  /// Slot index of neighbor `j`, or nullopt if j is not a neighbor.
+  [[nodiscard]] std::optional<std::size_t> slot_of(net::NodeId j) const noexcept {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), j);
+    if (it == ids_.end() || *it != j) return std::nullopt;
+    return static_cast<std::size_t>(it - ids_.begin());
+  }
+
+  /// Uniformly random live neighbor, or nullopt if none are left.
+  [[nodiscard]] std::optional<net::NodeId> pick_live(Rng& rng) const noexcept {
+    if (live_.empty()) return std::nullopt;
+    return live_[static_cast<std::size_t>(rng.below(live_.size()))];
+  }
+
+  /// Marks neighbor j dead; returns its slot if it was alive, nullopt if it
+  /// was unknown or already dead (duplicate failure notifications are benign).
+  std::optional<std::size_t> mark_dead(net::NodeId j) {
+    const auto slot = slot_of(j);
+    if (!slot || !alive_[*slot]) return std::nullopt;
+    alive_[*slot] = false;
+    live_.erase(std::remove(live_.begin(), live_.end(), j), live_.end());
+    return slot;
+  }
+
+ private:
+  std::vector<net::NodeId> ids_;  // sorted
+  std::vector<bool> alive_;
+  std::vector<net::NodeId> live_;
+};
+
+}  // namespace pcf::core

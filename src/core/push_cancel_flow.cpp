@@ -1,0 +1,268 @@
+#include "core/push_cancel_flow.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace pcf::core {
+
+namespace {
+const Mass& packet_slot(const Packet& packet, std::uint8_t slot) {
+  return slot == 0 ? packet.a : packet.b;
+}
+}  // namespace
+
+void PushCancelFlow::init(NodeId self, std::span<const NodeId> neighbors, Mass initial) {
+  PCF_CHECK_MSG(!initialized_, "reducer initialized twice");
+  PCF_CHECK_MSG(!neighbors.empty(), "node needs at least one neighbor");
+  neighbors_.init(neighbors);
+  self_ = self;
+  initial_ = std::move(initial);
+  EdgeState blank;
+  blank.flow = {Mass::zero(initial_.dim()), Mass::zero(initial_.dim())};
+  blank.pending_absorbed = Mass::zero(initial_.dim());
+  edges_.assign(neighbors_.size(), blank);
+  phi_ = Mass::zero(initial_.dim());
+  initialized_ = true;
+}
+
+Mass PushCancelFlow::explicit_flow_sum() const {
+  Mass sum = Mass::zero(initial_.dim());
+  for (std::size_t slot = 0; slot < edges_.size(); ++slot) {
+    if (!neighbors_.alive_at(slot)) continue;
+    sum += edges_[slot].flow[0];
+    sum += edges_[slot].flow[1];
+  }
+  return sum;
+}
+
+Mass PushCancelFlow::local_mass() const {
+  PCF_CHECK_MSG(initialized_, "local_mass before init");
+  if (config_.pcf_variant == PcfVariant::kFast) {
+    // ϕ already equals (absorbed + live flows); cheapest form (Fig. 5).
+    return initial_ - phi_;
+  }
+  // Robust variant: the live slots are summed fresh so that a corrupted slot
+  // that has since been healed by mirroring no longer poisons the estimate.
+  return initial_ - phi_ - explicit_flow_sum();
+}
+
+std::optional<Outgoing> PushCancelFlow::make_message(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto target = neighbors_.pick_live(rng);
+  if (!target) return std::nullopt;
+  return make_message_to(*target);
+}
+
+std::optional<Outgoing> PushCancelFlow::make_message_to(NodeId target) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto slot_opt = neighbors_.slot_of(target);
+  if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return std::nullopt;
+  EdgeState& edge = edges_[*slot_opt];
+
+  // Identical to PF but applied to the edge's *active* slot only.
+  const Mass half = local_mass().half();
+  edge.flow[edge.active] += half;
+  if (config_.pcf_variant == PcfVariant::kFast) phi_ += half;
+
+  Outgoing out;
+  out.to = target;
+  out.packet.a = edge.flow[0];
+  out.packet.b = edge.flow[1];
+  out.packet.active_slot = static_cast<std::uint8_t>(edge.active + 1);  // wire: 1-based
+  out.packet.role_count = edge.cycle;
+  return out;
+}
+
+void PushCancelFlow::mirror_slot(EdgeState& edge, std::uint8_t slot, const Mass& received) {
+  const Mass mirrored = received.negated();
+  if (config_.pcf_variant == PcfVariant::kFast) {
+    // ϕ += (new − old) keeps ϕ == absorbed + Σ live flows.
+    phi_ -= edge.flow[slot];
+    phi_ += mirrored;
+  }
+  edge.flow[slot] = mirrored;
+}
+
+void PushCancelFlow::absorb_passive(EdgeState& edge) {
+  const std::uint8_t pas = static_cast<std::uint8_t>(1 - edge.active);
+  if (config_.pcf_variant == PcfVariant::kRobust) {
+    phi_ += edge.flow[pas];
+  }
+  // (fast: leaving ϕ untouched while zeroing the slot performs the same
+  // absorption implicitly — the slot's mass moves from "live flows" to
+  // "absorbed" inside ϕ.)
+  edge.flow[pas].set_zero();
+}
+
+// Phase model: r is a PHASE counter, two phases per cancellation cycle.
+//  r even (steady)     — both endpoints aligned; PF runs on the active slot;
+//                        the initiator's passive copy is frozen, the
+//                        completer's mirrors it.
+//  r odd  (transition) — the initiator absorbed the passive pair; the
+//                        completer follows by absorbing its (mirrored) copy
+//                        and swapping; the initiator swaps when it sees the
+//                        completer's odd-phase traffic.
+// FIFO per direction gives the key exactness property: every steady-phase
+// packet of the completer was sent after it mirrored the initiator's frozen
+// passive value, so the initiator's equality check at cancellation certifies
+// that the two absorbed halves are exact negations.
+
+void PushCancelFlow::receive_as_initiator(EdgeState& edge, const Packet& packet) {
+  const std::uint64_t r_p = packet.role_count;
+
+  if (r_p == edge.cycle) {
+    if (edge.cycle % 2 == 1) {
+      // Transition: the completer completed and swapped — adopt. Our copy of
+      // the new passive (the old active) is frozen as of this moment.
+      edge.active = static_cast<std::uint8_t>(1 - edge.active);
+      edge.pending_absorbed.set_zero();  // handshake balanced on both sides
+      ++edge.cycle;
+      ++role_swaps_;
+      // Fall through into the new steady phase: mirror the completer's fresh
+      // pushes; its passive copy predates our freeze, so no cancel check yet
+      // (r_p is now one behind, matching the branch below).
+      mirror_slot(edge, edge.active, packet_slot(packet, edge.active));
+      return;
+    }
+    // Steady: plain PF on the active slot.
+    const std::uint8_t act = edge.active;
+    const std::uint8_t pas = static_cast<std::uint8_t>(1 - act);
+    mirror_slot(edge, act, packet_slot(packet, act));
+    // Every steady packet of the completer carries the exact negation of our
+    // frozen passive (see note above); the equality check is a safety net
+    // against loss-reordering and corruption.
+    if (packet_slot(packet, pas).is_negation_of(edge.flow[pas])) {
+      edge.pending_absorbed = edge.flow[pas];
+      absorb_passive(edge);
+      ++edge.cycle;  // enter the transition phase
+    }
+    // NOTE: the initiator never mirrors its passive (write-once per cycle).
+  } else if (r_p + 1 == edge.cycle) {
+    // Completer one phase behind — in either parity its active slot equals
+    // ours (swaps happen completer-first), so PF keeps running there.
+    mirror_slot(edge, edge.active, packet_slot(packet, edge.active));
+  }
+  // else: stale pipeline leftovers (≥ 2 phases old) — their "active" is our
+  // frozen passive; drop.
+}
+
+void PushCancelFlow::receive_as_completer(EdgeState& edge, const Packet& packet) {
+  const std::uint64_t r_p = packet.role_count;
+
+  if (r_p == edge.cycle + 1) {
+    if (edge.cycle % 2 == 0) {
+      // The initiator cancelled. Our passive copy mirrors its frozen value,
+      // so absorbing it nets to zero against the initiator's absorption.
+      absorb_passive(edge);
+      edge.active = static_cast<std::uint8_t>(1 - edge.active);
+      ++edge.cycle;
+      ++role_swaps_;
+      // Fall through to the transition rules for this packet.
+    } else {
+      // The initiator adopted our swap — steady phase begins.
+      ++edge.cycle;
+      // Fall through to the steady rules for this packet.
+    }
+  } else if (r_p != edge.cycle) {
+    return;  // unreachable under FIFO; drop defensively (loss/corruption)
+  }
+
+  const std::uint8_t act = edge.active;
+  const std::uint8_t pas = static_cast<std::uint8_t>(1 - act);
+  if (edge.cycle % 2 == 1) {
+    // Transition: the initiator has not swapped yet — it still pushes into
+    // the old active slot, which is our passive now. Mirror only that slot;
+    // the packet's other slot is the initiator's zeroed copy of our fresh
+    // active and must not clobber our pushes.
+    mirror_slot(edge, pas, packet_slot(packet, pas));
+    return;
+  }
+  // Steady: PF on the active slot; the passive mirrors the initiator's
+  // frozen value (idempotent once aligned).
+  mirror_slot(edge, act, packet_slot(packet, act));
+  mirror_slot(edge, pas, packet_slot(packet, pas));
+}
+
+void PushCancelFlow::on_receive(NodeId from, const Packet& packet) {
+  PCF_CHECK_MSG(initialized_, "on_receive before init");
+  const auto slot_opt = neighbors_.slot_of(from);
+  if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return;  // stale packet
+  if (packet.a.dim() != initial_.dim() || packet.b.dim() != initial_.dim()) return;
+  if (packet.active_slot != 1 && packet.active_slot != 2) return;  // corrupted header
+  EdgeState& edge = edges_[*slot_opt];
+  if (self_ < from) {
+    receive_as_initiator(edge, packet);
+  } else {
+    receive_as_completer(edge, packet);
+  }
+}
+
+void PushCancelFlow::update_data(const Mass& delta) {
+  PCF_CHECK_MSG(initialized_, "update_data before init");
+  PCF_CHECK_MSG(delta.dim() == initial_.dim(), "update_data dimension mismatch");
+  initial_ += delta;  // flows and ϕ are untouched; estimates re-converge
+}
+
+void PushCancelFlow::on_link_down(NodeId j) {
+  const auto slot = neighbors_.mark_dead(j);
+  if (!slot) return;
+  EdgeState& edge = edges_[*slot];
+  if (config_.pcf_variant == PcfVariant::kFast) {
+    // Keep ϕ == absorbed + Σ live flows: fold the dying slots back out.
+    phi_ -= edge.flow[0];
+    phi_ -= edge.flow[1];
+  }
+  // Robust variant: local_mass() skips dead slots, so zeroing suffices.
+  edge.flow[0].set_zero();
+  edge.flow[1].set_zero();
+  if (self_ < j && edge.cycle % 2 == 1) {
+    // Un-absorb the half of a cancellation the peer (very likely) never
+    // completed: its explicit copy just died with the link, so keeping our
+    // absorbed half would permanently remove that mass from the computation.
+    // (If the peer DID complete and its swap notification was exactly the
+    // packet the failure destroyed, this rollback itself creates the bias —
+    // a two-generals window that no local rule can close; it is one packet
+    // flight wide, versus the whole cancellation window without rollback.)
+    phi_ -= edge.pending_absorbed;
+    edge.pending_absorbed.set_zero();
+  }
+}
+
+bool PushCancelFlow::corrupt_stored_flow(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "corrupt_stored_flow before init");
+  const auto edge_index = static_cast<std::size_t>(rng.below(edges_.size()));
+  Mass& flow = edges_[edge_index].flow[rng.below(2)];
+  const auto component = static_cast<std::size_t>(rng.below(flow.dim() + 1));
+  double& victim = component < flow.dim() ? flow.s[component] : flow.w;
+  std::uint64_t bit = rng.below(53);
+  if (bit == 52) bit = 63;  // sign bit
+  std::uint64_t bits;
+  std::memcpy(&bits, &victim, sizeof bits);
+  bits ^= (std::uint64_t{1} << bit);
+  std::memcpy(&victim, &bits, sizeof bits);
+  // The fast variant's ϕ is NOT adjusted — a memory error corrupts the flow
+  // behind ϕ's back, and every subsequent incremental ϕ update bakes the
+  // delta in. The robust variant re-sums the (healed) slots, so it recovers.
+  return true;
+}
+
+double PushCancelFlow::max_abs_flow_component() const noexcept {
+  double best = 0.0;
+  for (std::size_t slot = 0; slot < edges_.size(); ++slot) {
+    if (!neighbors_.alive_at(slot)) continue;
+    for (const Mass& f : edges_[slot].flow) {
+      for (double v : f.s) best = std::max(best, std::fabs(v));
+      best = std::max(best, std::fabs(f.w));
+    }
+  }
+  return best;
+}
+
+PushCancelFlow::EdgeView PushCancelFlow::edge_state(NodeId j) const {
+  const auto slot = neighbors_.slot_of(j);
+  PCF_CHECK_MSG(slot.has_value(), "edge_state: node " << j << " is not a neighbor");
+  const EdgeState& e = edges_[*slot];
+  return EdgeView{e.flow[0], e.flow[1], static_cast<std::uint8_t>(e.active + 1), e.cycle};
+}
+
+}  // namespace pcf::core

@@ -1,0 +1,139 @@
+// Push-cancel-flow (PCF) — Section III / Fig. 5 of the paper; the paper's
+// contribution.
+//
+// PCF keeps PF's flow concept (all data is exchanged via flows, so all of
+// PF's fault-tolerance carries over) but continuously *cancels* converged
+// flows so that every live flow variable is rebuilt from recent local
+// estimates. Consequences:
+//
+//  * flow magnitudes stay O(aggregate) instead of growing with n
+//    ⇒ no catastrophic cancellation ⇒ machine-precision results (Fig. 6);
+//  * a flow's value ratio s/w ≈ aggregate, so zeroing an (antisymmetric)
+//    flow pair on link failure perturbs only mass, not estimates
+//    ⇒ failures cause no convergence fall-back (Fig. 7).
+//
+// Mechanism: each edge carries TWO flow slots. One slot is *active* and runs
+// plain push-flow; the other is *passive* and is being driven to zero. Once
+// pairwise conservation of the passive pair is observed exactly
+// (f_{j,i} == −f_{i,j}), both endpoints absorb their copy into the locally
+// stored flow sum ϕ, zero the slot, and the roles swap; the cycle repeats
+// forever. A per-edge cycle counter r orders the handshake.
+//
+// ── Deviations from the paper's Fig. 5 pseudocode (deliberate) ──────────────
+// The paper's handshake is symmetric: either endpoint may start a
+// cancellation, either may swap, and a role-adoption rule reconciles
+// disagreements. Under pipelined asynchronous delivery that symmetry races:
+//  * a completer's legitimate swap can be ADOPTED BACK by a stale packet,
+//    orphaning mass it pushed into the new active slot;
+//  * both endpoints can absorb passive values that are NOT exact negations
+//    (the passive pair is re-mirrored in both directions, so values ping-pong
+//    through the pipeline between the equality check and the absorption).
+// Each race silently removes mass from the computation. Both were found with
+// the randomized interleaving fuzz test in tests/core/ (the paper's
+// synchronous simulations cannot hit the windows). We make the handshake
+// race-free with three asymmetries, preserving the algorithm's structure:
+//
+//  1. only the endpoint with the LOWER node id (the *initiator*) starts
+//     cancellations and bumps r; the peer (the *completer*) absorbs + swaps
+//     when it observes the bumped r, and the initiator then adopts the swap.
+//     Adoption is one-directional: a completed swap can never roll back.
+//  2. the initiator's passive copy is WRITE-ONCE per cycle (frozen when the
+//     cycle starts); only the completer mirrors its passive, always from the
+//     initiator's frozen value. The per-edge counter r counts *phases* (two
+//     per cancellation cycle: steady and transition), and the initiator only
+//     accepts cancel-equality from packets of the current steady phase —
+//     which, by per-direction FIFO, the completer can only send after having
+//     mirrored the frozen value. The two absorbed halves of every
+//     cancellation are therefore exact negations — under any interleaving
+//     and even under message loss — so cancellation conserves mass
+//     bit-exactly.
+//  3. while a swap is propagating (completer swapped, initiator not yet
+//     adopted), packets carrying the old role mirror only the old active
+//     slot, so fresh pushes are never clobbered by a stale zero.
+//
+// The active slot runs unmodified push-flow in every phase, which preserves
+// the paper's equivalence property: in a failure-free run with the same
+// schedule, PCF's estimates match PF's (Section III-B, used by Figs. 4/7).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/neighbor_set.hpp"
+#include "core/reducer.hpp"
+
+namespace pcf::core {
+
+class PushCancelFlow final : public Reducer {
+ public:
+  explicit PushCancelFlow(const ReducerConfig& config) : config_(config) {}
+
+  void init(NodeId self, std::span<const NodeId> neighbors, Mass initial) override;
+  [[nodiscard]] std::optional<Outgoing> make_message(Rng& rng) override;
+  [[nodiscard]] std::optional<Outgoing> make_message_to(NodeId target) override;
+  void on_receive(NodeId from, const Packet& packet) override;
+  [[nodiscard]] Mass local_mass() const override;
+  void on_link_down(NodeId j) override;
+  void update_data(const Mass& delta) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return config_.pcf_variant == PcfVariant::kFast ? "push-cancel-flow/fast"
+                                                    : "push-cancel-flow/robust";
+  }
+  [[nodiscard]] std::size_t live_degree() const noexcept override {
+    return neighbors_.live_count();
+  }
+  [[nodiscard]] double max_abs_flow_component() const noexcept override;
+  /// Completed role swaps (cancellation cycles), summed over edges.
+  [[nodiscard]] std::uint64_t role_swaps() const noexcept override { return role_swaps_; }
+  [[nodiscard]] std::size_t wire_masses() const noexcept override { return 2; }
+  bool corrupt_stored_flow(Rng& rng) override;
+
+  /// Test hooks.
+  struct EdgeView {
+    Mass flow1;
+    Mass flow2;
+    std::uint8_t active_slot;  ///< 1-based
+    std::uint64_t role_count;
+  };
+  [[nodiscard]] EdgeView edge_state(NodeId j) const;
+
+ private:
+  struct EdgeState {
+    std::array<Mass, 2> flow;
+    std::uint8_t active = 0;  ///< current active slot index (paper's c − 1)
+    /// Phase counter: two phases per cancellation cycle of the paper's r.
+    /// Even = steady (PF + frozen passive), odd = transition (initiator
+    /// cancelled, swap propagating). See the phase-model note in the .cpp.
+    std::uint64_t cycle = 0;
+    /// Initiator only: the mass absorbed by the cancellation of the current
+    /// transition phase. If the link dies mid-transition, the absorption is
+    /// rolled back — the completer (most likely) never completed, so its
+    /// explicit copy (zeroed by the exclusion) would otherwise leave our
+    /// absorbed half unbalanced. See on_link_down().
+    Mass pending_absorbed;
+  };
+
+  /// Mirrors `received` into our `slot` of `edge`, with ϕ accounting.
+  void mirror_slot(EdgeState& edge, std::uint8_t slot, const Mass& received);
+  /// Absorbs the passive slot into ϕ and zeroes it.
+  void absorb_passive(EdgeState& edge);
+
+  void receive_as_initiator(EdgeState& edge, const Packet& packet);
+  void receive_as_completer(EdgeState& edge, const Packet& packet);
+
+  [[nodiscard]] Mass explicit_flow_sum() const;
+
+  ReducerConfig config_;
+  NeighborSet neighbors_;
+  NodeId self_ = 0;
+  Mass initial_;
+  std::vector<EdgeState> edges_;  // one per neighbor slot
+  /// kFast: running Σ of all live flow slots plus absorbed mass (the paper's
+  /// ϕ). kRobust: only the absorbed mass; live slots are summed on demand so
+  /// corrupted slots can heal (bit-flip tolerance).
+  Mass phi_;
+  std::uint64_t role_swaps_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace pcf::core

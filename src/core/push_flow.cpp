@@ -1,0 +1,121 @@
+#include "core/push_flow.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace pcf::core {
+
+void PushFlow::init(NodeId /*self*/, std::span<const NodeId> neighbors, Mass initial) {
+  PCF_CHECK_MSG(!initialized_, "reducer initialized twice");
+  PCF_CHECK_MSG(!neighbors.empty(), "node needs at least one neighbor");
+  neighbors_.init(neighbors);
+  initial_ = std::move(initial);
+  flows_.assign(neighbors_.size(), Mass::zero(initial_.dim()));
+  cached_flow_sum_ = Mass::zero(initial_.dim());
+  initialized_ = true;
+}
+
+Mass PushFlow::flow_sum() const {
+  if (config_.pf_cached_flow_sum) return cached_flow_sum_;
+  Mass sum = Mass::zero(initial_.dim());
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    // Dead links were zeroed on exclusion; adding them is a no-op but we skip
+    // for clarity.
+    if (neighbors_.alive_at(slot)) sum += flows_[slot];
+  }
+  return sum;
+}
+
+Mass PushFlow::local_mass() const {
+  PCF_CHECK_MSG(initialized_, "local_mass before init");
+  return initial_ - flow_sum();
+}
+
+std::optional<Outgoing> PushFlow::make_message(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto target = neighbors_.pick_live(rng);
+  if (!target) return std::nullopt;
+  return make_message_to(*target);
+}
+
+std::optional<Outgoing> PushFlow::make_message_to(NodeId target) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto slot_opt = neighbors_.slot_of(target);
+  if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return std::nullopt;
+  const std::size_t slot = *slot_opt;
+  // Virtual send: fold half of the current mass into the flow, then transmit
+  // the whole flow variable (physical send). Losing the packet loses nothing:
+  // the flow still records the intent and is retransmitted next time.
+  const Mass half = local_mass().half();
+  flows_[slot] += half;
+  if (config_.pf_cached_flow_sum) cached_flow_sum_ += half;
+  Outgoing out;
+  out.to = target;
+  out.packet.a = flows_[slot];
+  return out;
+}
+
+void PushFlow::on_receive(NodeId from, const Packet& packet) {
+  PCF_CHECK_MSG(initialized_, "on_receive before init");
+  const auto slot = neighbors_.slot_of(from);
+  if (!slot || !neighbors_.alive_at(*slot)) return;  // stale packet after exclusion
+  if (packet.a.dim() != initial_.dim()) return;      // corrupted beyond use
+  // Mirror with exact negation — re-establishes pairwise flow conservation
+  // and silently repairs any earlier corruption of flows_[slot].
+  const Mass mirrored = packet.a.negated();
+  if (config_.pf_cached_flow_sum) {
+    cached_flow_sum_ -= flows_[*slot];
+    cached_flow_sum_ += mirrored;
+  }
+  flows_[*slot] = mirrored;
+}
+
+void PushFlow::update_data(const Mass& delta) {
+  PCF_CHECK_MSG(initialized_, "update_data before init");
+  PCF_CHECK_MSG(delta.dim() == initial_.dim(), "update_data dimension mismatch");
+  initial_ += delta;  // flows are untouched; estimates re-converge
+}
+
+void PushFlow::on_link_down(NodeId j) {
+  const auto slot = neighbors_.mark_dead(j);
+  if (!slot) return;
+  // Algorithmic exclusion (Section II-C): zero the flow. The local mass jumps
+  // by the old flow value — for PF that value is arbitrary, which is exactly
+  // the restart problem the PCF algorithm fixes.
+  if (config_.pf_cached_flow_sum) cached_flow_sum_ -= flows_[*slot];
+  flows_[*slot].set_zero();
+}
+
+bool PushFlow::corrupt_stored_flow(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "corrupt_stored_flow before init");
+  const auto slot = static_cast<std::size_t>(rng.below(flows_.size()));
+  const auto component = static_cast<std::size_t>(rng.below(flows_[slot].dim() + 1));
+  double& victim = component < flows_[slot].dim() ? flows_[slot].s[component] : flows_[slot].w;
+  std::uint64_t bit = rng.below(53);
+  if (bit == 52) bit = 63;  // sign bit
+  std::uint64_t bits;
+  std::memcpy(&bits, &victim, sizeof bits);
+  bits ^= (std::uint64_t{1} << bit);
+  std::memcpy(&victim, &bits, sizeof bits);
+  // Note: the cached-flow-sum ablation variant deliberately does NOT learn of
+  // the corruption — that desynchronization is exactly what it ablates.
+  return true;
+}
+
+double PushFlow::max_abs_flow_component() const noexcept {
+  double best = 0.0;
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    if (!neighbors_.alive_at(slot)) continue;
+    for (double v : flows_[slot].s) best = std::max(best, std::fabs(v));
+    best = std::max(best, std::fabs(flows_[slot].w));
+  }
+  return best;
+}
+
+const Mass& PushFlow::flow_to(NodeId j) const {
+  const auto slot = neighbors_.slot_of(j);
+  PCF_CHECK_MSG(slot.has_value(), "flow_to: node " << j << " is not a neighbor");
+  return flows_[*slot];
+}
+
+}  // namespace pcf::core

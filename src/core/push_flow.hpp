@@ -1,0 +1,60 @@
+// Push-flow (PF) — Fig. 1 of the paper.
+//
+// A fault-tolerant reformulation of push-sum: instead of transferring mass,
+// node i maintains a flow variable f_{i,j} per neighbor j and transfers
+// *flows*. A send first folds the pushed mass into f_{i,k} ("virtual send")
+// and then transmits the whole flow variable; the receiver overwrites its
+// mirror with the exact negation, f_{j,i} = -f_{i,j}. Flow conservation
+// (f_{i,j} = -f_{j,i}) is a purely local pairwise property, re-established by
+// the next successful delivery — which is why PF self-heals message loss and
+// bit flips in flow variables without detecting them.
+//
+// The node's mass is derived state:  e_i = v_i − Σ_j f_{i,j}.
+//
+// Weaknesses reproduced here (Section II of the paper):
+//  * flows converge to execution-dependent values that grow with n while the
+//    aggregate stays O(1) ⇒ cancellation ⇒ accuracy loss at scale;
+//  * excluding a failed link zeroes flows of arbitrary magnitude ⇒ the
+//    computation effectively restarts.
+#pragma once
+
+#include <vector>
+
+#include "core/neighbor_set.hpp"
+#include "core/reducer.hpp"
+
+namespace pcf::core {
+
+class PushFlow final : public Reducer {
+ public:
+  explicit PushFlow(const ReducerConfig& config) : config_(config) {}
+
+  void init(NodeId self, std::span<const NodeId> neighbors, Mass initial) override;
+  [[nodiscard]] std::optional<Outgoing> make_message(Rng& rng) override;
+  [[nodiscard]] std::optional<Outgoing> make_message_to(NodeId target) override;
+  void on_receive(NodeId from, const Packet& packet) override;
+  [[nodiscard]] Mass local_mass() const override;
+  void on_link_down(NodeId j) override;
+  void update_data(const Mass& delta) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "push-flow"; }
+  [[nodiscard]] std::size_t live_degree() const noexcept override {
+    return neighbors_.live_count();
+  }
+  [[nodiscard]] double max_abs_flow_component() const noexcept override;
+  bool corrupt_stored_flow(Rng& rng) override;
+
+  /// Test hook: the flow variable toward neighbor j (throws if not a neighbor).
+  [[nodiscard]] const Mass& flow_to(NodeId j) const;
+
+ private:
+  [[nodiscard]] Mass flow_sum() const;
+
+  ReducerConfig config_;
+  NeighborSet neighbors_;
+  Mass initial_;
+  std::vector<Mass> flows_;  // one per neighbor slot
+  Mass cached_flow_sum_;     // used only when config_.pf_cached_flow_sum
+  bool initialized_ = false;
+};
+
+}  // namespace pcf::core

@@ -1,0 +1,53 @@
+#include "core/push_sum.hpp"
+
+namespace pcf::core {
+
+void PushSum::init(NodeId /*self*/, std::span<const NodeId> neighbors, Mass initial) {
+  PCF_CHECK_MSG(!initialized_, "reducer initialized twice");
+  PCF_CHECK_MSG(!neighbors.empty(), "node needs at least one neighbor");
+  neighbors_.init(neighbors);
+  mass_ = std::move(initial);
+  initialized_ = true;
+}
+
+std::optional<Outgoing> PushSum::make_message(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto target = neighbors_.pick_live(rng);
+  if (!target) return std::nullopt;
+  return make_message_to(*target);
+}
+
+std::optional<Outgoing> PushSum::make_message_to(NodeId target) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto slot = neighbors_.slot_of(target);
+  if (!slot || !neighbors_.alive_at(*slot)) return std::nullopt;
+  // Keep half, push half. The pushed mass leaves this node immediately; if
+  // the packet is lost, the mass is gone — that is push-sum's fragility.
+  const Mass share = mass_.half();
+  mass_ -= share;
+  Outgoing out;
+  out.to = target;
+  out.packet.a = share;
+  return out;
+}
+
+void PushSum::on_receive(NodeId from, const Packet& packet) {
+  PCF_CHECK_MSG(initialized_, "on_receive before init");
+  if (!neighbors_.slot_of(from)) return;  // stale packet from a removed link
+  mass_ += packet.a;
+}
+
+void PushSum::update_data(const Mass& delta) {
+  PCF_CHECK_MSG(initialized_, "update_data before init");
+  PCF_CHECK_MSG(delta.dim() == mass_.dim(), "update_data dimension mismatch");
+  // Push-sum has no separate input state; the delta joins the in-flight mass.
+  mass_ += delta;
+}
+
+void PushSum::on_link_down(NodeId j) {
+  // Push-sum has no flow state to roll back: mass already in flight to or
+  // from the dead link is simply lost. We only stop selecting the neighbor.
+  (void)neighbors_.mark_dead(j);
+}
+
+}  // namespace pcf::core

@@ -1,0 +1,38 @@
+// Push-sum (Kempe, Dobra, Gehrke — FOCS 2003).
+//
+// The classical gossip aggregation protocol: every step a node keeps half of
+// its mass and pushes the other half to a uniformly random neighbor. Mass
+// conservation (Σ_i e_i(t) = Σ_i e_i(0)) is a *global* property, so any lost
+// or corrupted message silently destroys the result — push-sum is the
+// non-fault-tolerant baseline the paper builds on.
+#pragma once
+
+#include "core/neighbor_set.hpp"
+#include "core/reducer.hpp"
+
+namespace pcf::core {
+
+class PushSum final : public Reducer {
+ public:
+  explicit PushSum(const ReducerConfig& config) : config_(config) {}
+
+  void init(NodeId self, std::span<const NodeId> neighbors, Mass initial) override;
+  [[nodiscard]] std::optional<Outgoing> make_message(Rng& rng) override;
+  [[nodiscard]] std::optional<Outgoing> make_message_to(NodeId target) override;
+  void on_receive(NodeId from, const Packet& packet) override;
+  [[nodiscard]] Mass local_mass() const override { return mass_; }
+  void on_link_down(NodeId j) override;
+  void update_data(const Mass& delta) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "push-sum"; }
+  [[nodiscard]] std::size_t live_degree() const noexcept override {
+    return neighbors_.live_count();
+  }
+
+ private:
+  ReducerConfig config_;
+  NeighborSet neighbors_;
+  Mass mass_;
+  bool initialized_ = false;
+};
+
+}  // namespace pcf::core

@@ -1,0 +1,49 @@
+#include "core/reducer.hpp"
+
+#include "core/flow_updating.hpp"
+#include "core/push_cancel_flow.hpp"
+#include "core/push_flow.hpp"
+#include "core/push_sum.hpp"
+#include "support/check.hpp"
+
+namespace pcf::core {
+
+std::string_view to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kPushSum: return "push-sum";
+    case Algorithm::kPushFlow: return "push-flow";
+    case Algorithm::kPushCancelFlow: return "push-cancel-flow";
+    case Algorithm::kFlowUpdating: return "flow-updating";
+  }
+  return "?";
+}
+
+Algorithm parse_algorithm(std::string_view name) {
+  if (name == "pushsum" || name == "push-sum" || name == "ps") return Algorithm::kPushSum;
+  if (name == "pf" || name == "push-flow" || name == "pushflow") return Algorithm::kPushFlow;
+  if (name == "pcf" || name == "push-cancel-flow" || name == "pushcancelflow") {
+    return Algorithm::kPushCancelFlow;
+  }
+  if (name == "fu" || name == "flow-updating" || name == "flowupdating") {
+    return Algorithm::kFlowUpdating;
+  }
+  PCF_CHECK_MSG(false, "unknown algorithm '" << name << "' (want: ps|pf|pcf|fu)");
+  __builtin_unreachable();
+}
+
+std::string_view to_string(PcfVariant v) noexcept {
+  return v == PcfVariant::kFast ? "fast" : "robust";
+}
+
+std::unique_ptr<Reducer> make_reducer(Algorithm algorithm, const ReducerConfig& config) {
+  switch (algorithm) {
+    case Algorithm::kPushSum: return std::make_unique<PushSum>(config);
+    case Algorithm::kPushFlow: return std::make_unique<PushFlow>(config);
+    case Algorithm::kPushCancelFlow: return std::make_unique<PushCancelFlow>(config);
+    case Algorithm::kFlowUpdating: return std::make_unique<FlowUpdating>(config);
+  }
+  PCF_CHECK_MSG(false, "unhandled algorithm enum value");
+  __builtin_unreachable();
+}
+
+}  // namespace pcf::core

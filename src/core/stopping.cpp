@@ -1,0 +1,73 @@
+#include "core/stopping.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pcf::core {
+
+LocalStop::LocalStop(std::size_t num_nodes, double rel_tol, std::size_t patience)
+    : rel_tol_(rel_tol),
+      patience_(patience),
+      last_(num_nodes, 0.0),
+      quiet_(num_nodes, 0),
+      seen_(num_nodes, false) {
+  PCF_CHECK_MSG(num_nodes > 0, "LocalStop needs nodes");
+  PCF_CHECK_MSG(rel_tol > 0.0, "LocalStop needs a positive tolerance");
+  PCF_CHECK_MSG(patience > 0, "LocalStop needs positive patience");
+}
+
+bool LocalStop::observe(std::size_t node, double estimate) {
+  PCF_CHECK_MSG(node < last_.size(), "LocalStop node out of range");
+  if (!seen_[node]) {
+    seen_[node] = true;
+    last_[node] = estimate;
+    quiet_[node] = 0;
+    return false;
+  }
+  const double scale = std::max({std::fabs(estimate), std::fabs(last_[node]), 1e-300});
+  const double change = std::fabs(estimate - last_[node]) / scale;
+  last_[node] = estimate;
+  if (std::isfinite(change) && change <= rel_tol_) {
+    ++quiet_[node];
+  } else {
+    quiet_[node] = 0;
+  }
+  return node_converged(node);
+}
+
+std::size_t LocalStop::converged_count() const {
+  std::size_t count = 0;
+  for (std::size_t q : quiet_) {
+    if (q >= patience_) ++count;
+  }
+  return count;
+}
+
+void LocalStop::reset(std::size_t node) {
+  PCF_CHECK_MSG(node < last_.size(), "LocalStop node out of range");
+  quiet_[node] = 0;
+  seen_[node] = false;
+}
+
+bool FixedPointStop::observe(std::span<const double> estimates) {
+  if (last_.size() != estimates.size()) {
+    last_.assign(estimates.begin(), estimates.end());
+    quiet_rounds_ = 0;
+    return false;
+  }
+  const bool unchanged = std::equal(estimates.begin(), estimates.end(), last_.begin(),
+                                    [](double a, double b) {
+                                      // bit-for-bit, but NaN-stable
+                                      return a == b || (std::isnan(a) && std::isnan(b));
+                                    });
+  if (unchanged) {
+    ++quiet_rounds_;
+  } else {
+    quiet_rounds_ = 0;
+    last_.assign(estimates.begin(), estimates.end());
+  }
+  return quiet_rounds_ >= window_;
+}
+
+}  // namespace pcf::core

@@ -1,0 +1,67 @@
+// Stopping criteria for iterative gossip reductions.
+//
+// A gossip reduction never "finishes"; it converges. Experiments in the paper
+// prescribe a target accuracy ε plus an iteration cap. Two detectors are
+// provided:
+//
+//  * OracleStop   — uses the simulator's knowledge of the true aggregate;
+//                   matches what the paper's simulations measure. Not
+//                   implementable in a real deployment.
+//  * LocalStop    — per-node practical criterion: a node considers itself
+//                   converged once its estimate has changed by less than a
+//                   relative tolerance for K consecutive observations.
+//                   Deployable; ablation A4 quantifies the extra rounds it
+//                   costs versus the oracle.
+//  * FixedPointStop — detects the numerical fixed point: no node's estimate
+//                   changed at all over a window. Used by the accuracy
+//                   experiments (Figs. 3/6), which measure the best accuracy
+//                   an algorithm can ever reach.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pcf::core {
+
+class LocalStop {
+ public:
+  /// `rel_tol`: relative change threshold; `patience`: consecutive quiet
+  /// observations required before a node reports convergence.
+  LocalStop(std::size_t num_nodes, double rel_tol, std::size_t patience);
+
+  /// Feeds the current estimate of node i; returns the node's converged flag.
+  bool observe(std::size_t node, double estimate);
+
+  [[nodiscard]] bool node_converged(std::size_t node) const { return quiet_[node] >= patience_; }
+  [[nodiscard]] std::size_t converged_count() const;
+  [[nodiscard]] bool all_converged() const { return converged_count() == quiet_.size(); }
+
+  /// A failure or data change restarts the detector for a node.
+  void reset(std::size_t node);
+
+ private:
+  double rel_tol_;
+  std::size_t patience_;
+  std::vector<double> last_;
+  std::vector<std::size_t> quiet_;
+  std::vector<bool> seen_;
+};
+
+/// Window-based FP fixed point detector over the full estimate vector.
+class FixedPointStop {
+ public:
+  explicit FixedPointStop(std::size_t window) : window_(window) {}
+
+  /// Feeds this round's estimates; returns true once no estimate has changed
+  /// bit-for-bit during `window` consecutive rounds.
+  bool observe(std::span<const double> estimates);
+
+ private:
+  std::size_t window_;
+  std::size_t quiet_rounds_ = 0;
+  std::vector<double> last_;
+};
+
+}  // namespace pcf::core

@@ -1,0 +1,195 @@
+#include "linalg/distributed_eigen.hpp"
+
+#include <cmath>
+
+#include "sim/reduce.hpp"
+#include "support/check.hpp"
+
+namespace pcf::linalg {
+
+NetworkMatrix::NetworkMatrix(const net::Topology& topology, const Matrix& dense)
+    : topology_(&topology) {
+  const std::size_t n = topology.size();
+  PCF_CHECK_MSG(dense.rows() == n && dense.cols() == n, "matrix shape must match topology");
+  diagonal_.resize(n);
+  weights_.resize(n);
+  for (net::NodeId i = 0; i < n; ++i) {
+    diagonal_[i] = dense(i, i);
+    const auto neighbors = topology.neighbors(i);
+    weights_[i].resize(neighbors.size());
+    for (std::size_t s = 0; s < neighbors.size(); ++s) {
+      const net::NodeId j = neighbors[s];
+      PCF_CHECK_MSG(std::fabs(dense(i, j) - dense(j, i)) <= 1e-12,
+                    "network matrix must be symmetric");
+      weights_[i][s] = dense(i, j);
+    }
+    // Everything off the topology must be zero.
+    for (net::NodeId j = 0; j < n; ++j) {
+      if (j == i || topology.has_edge(i, j)) continue;
+      PCF_CHECK_MSG(dense(i, j) == 0.0, "nonzero entry (" << i << "," << j
+                                                          << ") off the topology edges");
+    }
+  }
+}
+
+NetworkMatrix NetworkMatrix::adjacency(const net::Topology& topology) {
+  NetworkMatrix m;
+  m.topology_ = &topology;
+  m.diagonal_.assign(topology.size(), 0.0);
+  m.weights_.resize(topology.size());
+  for (net::NodeId i = 0; i < topology.size(); ++i) {
+    m.weights_[i].assign(topology.degree(i), 1.0);
+  }
+  return m;
+}
+
+NetworkMatrix NetworkMatrix::shifted_adjacency(const net::Topology& topology, double shift) {
+  if (shift == 0.0) {
+    std::size_t max_degree = 0;
+    for (net::NodeId i = 0; i < topology.size(); ++i) {
+      max_degree = std::max(max_degree, topology.degree(i));
+    }
+    shift = static_cast<double>(max_degree) + 1.0;
+  }
+  NetworkMatrix m = adjacency(topology);
+  for (auto& d : m.diagonal_) d = shift;
+  return m;
+}
+
+NetworkMatrix NetworkMatrix::shifted_laplacian(const net::Topology& topology, double shift) {
+  if (shift == 0.0) {
+    std::size_t max_degree = 0;
+    for (net::NodeId i = 0; i < topology.size(); ++i) {
+      max_degree = std::max(max_degree, topology.degree(i));
+    }
+    shift = 2.0 * static_cast<double>(max_degree);
+  }
+  // c·I − L = (c − deg)·I + A
+  NetworkMatrix m;
+  m.topology_ = &topology;
+  m.diagonal_.resize(topology.size());
+  m.weights_.resize(topology.size());
+  for (net::NodeId i = 0; i < topology.size(); ++i) {
+    m.diagonal_[i] = shift - static_cast<double>(topology.degree(i));
+    m.weights_[i].assign(topology.degree(i), 1.0);
+  }
+  return m;
+}
+
+double NetworkMatrix::edge_weight(net::NodeId i, net::NodeId j) const {
+  const auto neighbors = topology_->neighbors(i);
+  for (std::size_t s = 0; s < neighbors.size(); ++s) {
+    if (neighbors[s] == j) return weights_[i][s];
+  }
+  PCF_CHECK_MSG(false, "edge_weight: " << i << "-" << j << " is not an edge");
+  __builtin_unreachable();
+}
+
+void NetworkMatrix::apply_row(net::NodeId i, const Matrix& y, std::span<double> out) const {
+  const std::size_t k = y.cols();
+  PCF_CHECK_MSG(out.size() == k, "apply_row output size mismatch");
+  for (std::size_t c = 0; c < k; ++c) out[c] = diagonal_[i] * y(i, c);
+  const auto neighbors = topology_->neighbors(i);
+  for (std::size_t s = 0; s < neighbors.size(); ++s) {
+    const net::NodeId j = neighbors[s];
+    const double w = weights_[i][s];
+    for (std::size_t c = 0; c < k; ++c) out[c] += w * y(j, c);
+  }
+}
+
+Matrix NetworkMatrix::dense() const {
+  const std::size_t n = topology_->size();
+  Matrix m(n, n);
+  for (net::NodeId i = 0; i < n; ++i) {
+    m(i, i) = diagonal_[i];
+    const auto neighbors = topology_->neighbors(i);
+    for (std::size_t s = 0; s < neighbors.size(); ++s) m(i, neighbors[s]) = weights_[i][s];
+  }
+  return m;
+}
+
+DistributedEigenResult distributed_eigen(const NetworkMatrix& m,
+                                         const DistributedEigenOptions& options) {
+  const auto& topology = m.topology();
+  const std::size_t n = topology.size();
+  const std::size_t k = options.num_pairs;
+  PCF_CHECK_MSG(k >= 1 && k <= core::kMaxDim, "num_pairs out of range");
+  PCF_CHECK_MSG(k < n, "need fewer eigenpairs than nodes");
+
+  // Node-local random initial rows.
+  Matrix y(n, k);
+  for (net::NodeId i = 0; i < n; ++i) {
+    Rng row_rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    for (std::size_t c = 0; c < k; ++c) y(i, c) = row_rng.uniform(-1.0, 1.0);
+  }
+
+  DmgsOptions orth;
+  orth.algorithm = options.algorithm;
+  orth.reduction_accuracy = options.reduction_accuracy;
+  orth.max_rounds_per_reduction = options.max_rounds_per_reduction;
+  orth.faults = options.faults;
+
+  DistributedEigenResult result;
+  Matrix z(n, k);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    // Z = M·Y — node i reads only its neighbors' rows (one exchange round).
+    for (net::NodeId i = 0; i < n; ++i) m.apply_row(i, y, z.row(i));
+    // Y = orth(Z) via dmGS; every node uses its own R estimates, exactly as
+    // in the QR application.
+    orth.seed = options.seed + 7919 * (iter + 1);
+    const auto qr = dmgs(topology, z, orth);
+    y = qr.q;
+    result.reductions += qr.reductions;
+    result.total_reduction_rounds += qr.total_rounds;
+  }
+  result.eigenvectors = y;
+
+  // Rayleigh quotients λ_c = y_cᵀ M y_c: node i contributes y(i,c)·(My)(i,c);
+  // one batched SUM reduction spreads all k values.
+  for (net::NodeId i = 0; i < n; ++i) m.apply_row(i, y, z.row(i));
+  std::vector<core::Values> partials(n);
+  for (net::NodeId i = 0; i < n; ++i) {
+    partials[i] = core::Values(k, 0.0);
+    for (std::size_t c = 0; c < k; ++c) partials[i][c] = y(i, c) * z(i, c);
+  }
+  sim::ReduceOptions ro;
+  ro.algorithm = options.algorithm;
+  ro.aggregate = core::Aggregate::kSum;
+  ro.seed = options.seed ^ 0xe16e2;
+  ro.target_accuracy = options.reduction_accuracy;
+  ro.max_rounds = options.max_rounds_per_reduction;
+  ro.faults = options.faults;
+  const auto rayleigh = sim::reduce_vectors(topology, partials, ro);
+  ++result.reductions;
+  result.total_reduction_rounds += rayleigh.rounds;
+
+  result.eigenvalues.resize(k);
+  for (std::size_t c = 0; c < k; ++c) result.eigenvalues[c] = rayleigh.estimate(0, c);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (net::NodeId i = 1; i < n; ++i) {
+      result.eigenvalue_disagreement =
+          std::max(result.eigenvalue_disagreement,
+                   std::fabs(rayleigh.estimate(i, c) - result.eigenvalues[c]));
+    }
+  }
+  return result;
+}
+
+std::vector<double> DistributedEigenResult::residuals(const NetworkMatrix& m) const {
+  const std::size_t n = eigenvectors.rows();
+  const std::size_t k = eigenvectors.cols();
+  Matrix my(n, k);
+  for (net::NodeId i = 0; i < n; ++i) m.apply_row(i, eigenvectors, my.row(i));
+  std::vector<double> out(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = my(i, c) - eigenvalues[c] * eigenvectors(i, c);
+      norm2 += r * r;
+    }
+    out[c] = std::sqrt(norm2);
+  }
+  return out;
+}
+
+}  // namespace pcf::linalg

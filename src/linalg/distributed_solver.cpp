@@ -1,0 +1,84 @@
+#include "linalg/distributed_solver.hpp"
+
+#include <cmath>
+
+#include "sim/reduce.hpp"
+#include "support/check.hpp"
+
+namespace pcf::linalg {
+
+DistributedSolveResult distributed_jacobi_solve(const NetworkMatrix& m,
+                                                std::span<const double> b,
+                                                const DistributedSolveOptions& options) {
+  const auto& topology = m.topology();
+  const std::size_t n = topology.size();
+  PCF_CHECK_MSG(b.size() == n, "one right-hand-side entry per node required");
+  for (net::NodeId i = 0; i < n; ++i) {
+    PCF_CHECK_MSG(m.diagonal(i) != 0.0, "Jacobi needs a nonzero diagonal (node " << i << ")");
+  }
+  PCF_CHECK_MSG(options.check_interval >= 1, "check interval must be positive");
+
+  DistributedSolveResult result;
+  result.x.assign(n, 0.0);
+
+  // Jacobi iterates as an n×1 "matrix" so NetworkMatrix::apply_row serves.
+  Matrix x(n, 1);
+  Matrix mx(n, 1);
+  std::uint64_t reduction_index = 0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations;) {
+    for (std::size_t step = 0; step < options.check_interval &&
+                               iter < options.max_iterations;
+         ++step, ++iter) {
+      // x_new_i = (b_i − Σ_{j≠i} M_ij x_j) / M_ii, computed via the full row
+      // product minus the diagonal term (neighbors only — local).
+      for (net::NodeId i = 0; i < n; ++i) m.apply_row(i, x, mx.row(i));
+      for (net::NodeId i = 0; i < n; ++i) {
+        const double off_diagonal = mx(i, 0) - m.diagonal(i) * x(i, 0);
+        x(i, 0) = (b[i] - off_diagonal) / m.diagonal(i);
+      }
+    }
+
+    // Global stopping test: ‖b − Mx‖² by gossip SUM reduction of the local
+    // squared residuals. Every node gets its own estimate and stops when the
+    // norm is below tolerance; the simulator checks node 0's view (nodes
+    // agree to reduction accuracy).
+    for (net::NodeId i = 0; i < n; ++i) m.apply_row(i, x, mx.row(i));
+    std::vector<double> squares(n);
+    for (net::NodeId i = 0; i < n; ++i) {
+      const double r = b[i] - mx(i, 0);
+      squares[i] = r * r;
+    }
+    // NOTE: every check is a COLD reduction on purpose: residual magnitudes
+    // shrink geometrically, and a gossip reduction's relative accuracy is
+    // scale-invariant only when its state starts at the data's scale. A
+    // warm-started ReductionSession would carry absolute FP noise from the
+    // earlier, larger residuals and could never certify the tiny late norms
+    // (see sim/session.hpp's "when to use" note).
+    sim::ReduceOptions ro;
+    ro.algorithm = options.algorithm;
+    ro.aggregate = core::Aggregate::kSum;
+    std::uint64_t sm = options.seed + 0x9e3779b97f4a7c15ULL * (++reduction_index);
+    ro.seed = splitmix64(sm);
+    ro.target_accuracy = options.reduction_accuracy;
+    ro.max_rounds = options.max_rounds_per_reduction;
+    ro.faults = options.faults;
+    const auto reduced = sim::reduce(topology, squares, ro);
+    ++result.residual_checks;
+    result.total_reduction_rounds += reduced.rounds;
+    result.residual_norm = std::sqrt(std::max(0.0, reduced.estimate(0)));
+    result.iterations = iter;
+    if (!std::isfinite(result.residual_norm)) break;  // divergence
+    if (result.residual_norm <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    // Divergence guard: a growing residual on a non-contractive system.
+    if (result.residual_norm > 1e12) break;
+  }
+
+  for (net::NodeId i = 0; i < n; ++i) result.x[i] = x(i, 0);
+  return result;
+}
+
+}  // namespace pcf::linalg

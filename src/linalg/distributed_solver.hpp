@@ -1,0 +1,54 @@
+// Distributed linear solver for network systems — Jacobi iteration with a
+// gossip-based global stopping test.
+//
+// Setting: solve M·x = b where M is a NetworkMatrix (sparsity = topology) and
+// node i owns b_i and its solution component x_i. One Jacobi step
+//
+//   x_i ← (b_i − Σ_{j∈N(i)} M_ij·x_j) / M_ii
+//
+// needs only the NEIGHBORS' iterates — fully local. The only global quantity
+// is the stopping test ‖b − M·x‖² , which is exactly a SUM reduction of the
+// local squared residuals: the reduction layer (push-cancel-flow by default)
+// supplies it, and with it the fault tolerance — a link failure or lost
+// packets inside the norm check only delay termination, never corrupt x.
+//
+// Converges for strictly diagonally dominant M (e.g., shifted Laplacians
+// L + c·I, the standard regularized consensus/Tikhonov systems).
+#pragma once
+
+#include "linalg/distributed_eigen.hpp"  // NetworkMatrix
+
+namespace pcf::linalg {
+
+struct DistributedSolveOptions {
+  core::Algorithm algorithm = core::Algorithm::kPushCancelFlow;
+  std::uint64_t seed = 1;
+  /// Stop once every node believes ‖b − Mx‖₂ ≤ tolerance.
+  double tolerance = 1e-10;
+  std::size_t max_iterations = 5000;
+  /// Jacobi steps between two gossip residual checks (the check costs a full
+  /// reduction, the steps are free — amortize).
+  std::size_t check_interval = 8;
+  double reduction_accuracy = 1e-12;
+  std::size_t max_rounds_per_reduction = 4000;
+  sim::FaultPlan faults;  ///< injected into every residual-norm reduction
+};
+
+struct DistributedSolveResult {
+  std::vector<double> x;  ///< x_i as held by node i
+  std::size_t iterations = 0;
+  std::size_t residual_checks = 0;
+  std::size_t total_reduction_rounds = 0;
+  bool converged = false;
+  /// ‖b − Mx‖₂ as estimated by node 0 at the final check.
+  double residual_norm = 0.0;
+};
+
+/// Solves M x = b by distributed Jacobi iteration. Requires nonzero diagonal;
+/// convergence requires spectral radius of the Jacobi matrix < 1 (guaranteed
+/// for strict diagonal dominance) — on divergence the result reports
+/// converged = false.
+[[nodiscard]] DistributedSolveResult distributed_jacobi_solve(
+    const NetworkMatrix& m, std::span<const double> b, const DistributedSolveOptions& options);
+
+}  // namespace pcf::linalg

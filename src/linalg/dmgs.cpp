@@ -1,0 +1,144 @@
+#include "linalg/dmgs.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pcf::linalg {
+
+namespace {
+
+/// One distributed SUM reduction of per-node partial vectors; returns each
+/// node's estimates. Bumps the option counters via the out-params.
+sim::ReduceResult run_reduction(const net::Topology& topology,
+                                std::span<const core::Values> partials,
+                                const DmgsOptions& options, std::uint64_t reduction_index) {
+  sim::ReduceOptions ro;
+  ro.algorithm = options.algorithm;
+  ro.aggregate = core::Aggregate::kSum;
+  ro.reducer = options.reducer;
+  // Every reduction gets an independent but reproducible schedule.
+  std::uint64_t sm = options.seed + 0x9e3779b97f4a7c15ULL * (reduction_index + 1);
+  ro.seed = splitmix64(sm);
+  ro.target_accuracy = options.reduction_accuracy;
+  ro.max_rounds = options.max_rounds_per_reduction;
+  ro.faults = options.faults;
+  return sim::reduce_vectors(topology, partials, ro);
+}
+
+}  // namespace
+
+DmgsResult dmgs(const net::Topology& topology, const Matrix& v, const DmgsOptions& options) {
+  const std::size_t n = v.rows();
+  const std::size_t m = v.cols();
+  const std::size_t num_nodes = topology.size();
+  PCF_CHECK_MSG(n >= num_nodes, "dmgs: need at least one row per node");
+  PCF_CHECK_MSG(m >= 1, "dmgs: matrix needs at least one column");
+
+  auto owner = [num_nodes](std::size_t row) { return row % num_nodes; };
+
+  DmgsResult result;
+  result.q = v;  // worked in place, column by column
+  result.r.assign(num_nodes, Matrix(m, m));
+  Matrix& q = result.q;
+
+  std::uint64_t reduction_index = 0;
+  auto reduce_partials = [&](std::span<const core::Values> partials) {
+    auto res = run_reduction(topology, partials, options, reduction_index++);
+    ++result.reductions;
+    result.total_rounds += res.rounds;
+    if (!res.reached_target) ++result.reductions_hit_cap;
+    return res;
+  };
+
+  std::vector<core::Values> partials(num_nodes);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    // --- r_jj = ‖q_j‖: distributed sum of squared local entries ---
+    for (auto& p : partials) p = core::Values{0.0};
+    for (std::size_t row = 0; row < n; ++row) {
+      partials[owner(row)][0] += q(row, j) * q(row, j);
+    }
+    const auto norm_res = reduce_partials(partials);
+    for (std::size_t node = 0; node < num_nodes; ++node) {
+      const double est = norm_res.estimate(node, 0);
+      result.r[node](j, j) = est > 0.0 ? std::sqrt(est) : 0.0;
+    }
+    // Each node normalizes ITS rows with ITS estimate of r_jj.
+    for (std::size_t row = 0; row < n; ++row) {
+      const double rjj = result.r[owner(row)](j, j);
+      PCF_CHECK_MSG(rjj > 0.0, "dmgs: node " << owner(row) << " sees zero norm for column " << j);
+      q(row, j) /= rjj;
+    }
+    if (j + 1 == m) break;
+
+    // --- r_jk for k > j: batched dot products, chunks of kMaxDim ---
+    for (std::size_t k0 = j + 1; k0 < m; k0 += core::kMaxDim) {
+      const std::size_t chunk = std::min(core::kMaxDim, m - k0);
+      for (auto& p : partials) p = core::Values(chunk, 0.0);
+      for (std::size_t row = 0; row < n; ++row) {
+        auto& p = partials[owner(row)];
+        const double qj = q(row, j);
+        for (std::size_t c = 0; c < chunk; ++c) p[c] += qj * q(row, k0 + c);
+      }
+      const auto dot_res = reduce_partials(partials);
+      for (std::size_t node = 0; node < num_nodes; ++node) {
+        for (std::size_t c = 0; c < chunk; ++c) {
+          result.r[node](j, k0 + c) = dot_res.estimate(node, c);
+        }
+      }
+      // Orthogonalize the trailing columns against q_j, again with the row
+      // owner's local coefficients.
+      for (std::size_t row = 0; row < n; ++row) {
+        const Matrix& r_local = result.r[owner(row)];
+        const double qj = q(row, j);
+        for (std::size_t c = 0; c < chunk; ++c) {
+          q(row, k0 + c) -= r_local(j, k0 + c) * qj;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double DmgsResult::factorization_error(const Matrix& v) const {
+  const double scale = v.norm_inf();
+  double worst = 0.0;
+  for (const Matrix& r_node : r) {
+    worst = std::max(worst, (v - q * r_node).norm_inf() / scale);
+  }
+  return worst;
+}
+
+double DmgsResult::self_consistency_error(const Matrix& v, const net::Topology& topology) const {
+  const std::size_t n = v.rows();
+  const std::size_t m = v.cols();
+  const std::size_t num_nodes = topology.size();
+  // Reconstruct each row with the row owner's R: V̂(row,:) = Q(row,:) R_owner.
+  Matrix reconstructed(n, m);
+  for (std::size_t row = 0; row < n; ++row) {
+    const Matrix& r_local = r[row % num_nodes];
+    for (std::size_t c = 0; c < m; ++c) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j <= c; ++j) acc += q(row, j) * r_local(j, c);
+      reconstructed(row, c) = acc;
+    }
+  }
+  return (v - reconstructed).norm_inf() / v.norm_inf();
+}
+
+double DmgsResult::orthogonality_error() const { return linalg::orthogonality_error(q); }
+
+double DmgsResult::r_disagreement() const {
+  double worst = 0.0;
+  for (std::size_t a = 1; a < r.size(); ++a) {
+    for (std::size_t i = 0; i < r[a].rows(); ++i) {
+      for (std::size_t jj = 0; jj < r[a].cols(); ++jj) {
+        worst = std::max(worst, std::fabs(r[a](i, jj) - r[0](i, jj)));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace pcf::linalg

@@ -1,0 +1,97 @@
+#include "linalg/eigen_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pcf::linalg {
+
+EigenDecomposition jacobi_eigen(const Matrix& symmetric, double tol, std::size_t max_sweeps,
+                                double symmetry_tol) {
+  const std::size_t n = symmetric.rows();
+  PCF_CHECK_MSG(symmetric.cols() == n, "eigen decomposition needs a square matrix");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      PCF_CHECK_MSG(std::fabs(symmetric(i, j) - symmetric(j, i)) <= symmetry_tol,
+                    "jacobi_eigen: matrix is not symmetric at (" << i << "," << j << ")");
+    }
+  }
+
+  Matrix a = symmetric;
+  Matrix v = Matrix::identity(n);
+  const double scale = std::max(1.0, a.max_abs());
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off = std::max(off, std::fabs(a(p, q)));
+    }
+    if (off <= tol * scale) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        // The rotation angle that annihilates a(p,q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a(x, x) > a(y, y); });
+
+  EigenDecomposition result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = a(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) result.vectors(i, k) = v(i, order[k]);
+  }
+  return result;
+}
+
+Matrix adjacency_matrix(const net::Topology& topology) {
+  Matrix a(topology.size(), topology.size());
+  for (net::NodeId i = 0; i < topology.size(); ++i) {
+    for (const net::NodeId j : topology.neighbors(i)) a(i, j) = 1.0;
+  }
+  return a;
+}
+
+Matrix laplacian_matrix(const net::Topology& topology) {
+  Matrix l(topology.size(), topology.size());
+  for (net::NodeId i = 0; i < topology.size(); ++i) {
+    l(i, i) = static_cast<double>(topology.degree(i));
+    for (const net::NodeId j : topology.neighbors(i)) l(i, j) = -1.0;
+  }
+  return l;
+}
+
+}  // namespace pcf::linalg

@@ -1,0 +1,33 @@
+// Sequential reference eigensolver for symmetric matrices.
+//
+// Classical cyclic Jacobi: rotate away the largest off-diagonal entries until
+// the matrix is numerically diagonal. Slow (O(n³) per sweep) but simple and
+// extremely accurate — exactly what a ground-truth oracle for the distributed
+// eigensolver should be.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "net/topology.hpp"
+
+namespace pcf::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column k of `vectors` is the eigenvector for values[k] (orthonormal).
+  Matrix vectors;
+};
+
+/// Jacobi eigenvalue iteration. Requires a symmetric matrix; throws on
+/// asymmetry beyond `symmetry_tol`.
+[[nodiscard]] EigenDecomposition jacobi_eigen(const Matrix& symmetric, double tol = 1e-13,
+                                              std::size_t max_sweeps = 64,
+                                              double symmetry_tol = 1e-12);
+
+/// Adjacency matrix of a topology (A_ij = 1 iff edge {i,j}).
+[[nodiscard]] Matrix adjacency_matrix(const net::Topology& topology);
+
+/// Combinatorial Laplacian L = D − A.
+[[nodiscard]] Matrix laplacian_matrix(const net::Topology& topology);
+
+}  // namespace pcf::linalg

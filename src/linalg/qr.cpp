@@ -1,0 +1,84 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace pcf::linalg {
+
+QrResult mgs_qr(const Matrix& v) {
+  const std::size_t n = v.rows();
+  const std::size_t m = v.cols();
+  PCF_CHECK_MSG(n >= m, "mgs_qr requires rows >= cols");
+  QrResult out{v, Matrix(m, m)};
+  Matrix& q = out.q;
+  Matrix& r = out.r;
+  for (std::size_t j = 0; j < m; ++j) {
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm2 += q(i, j) * q(i, j);
+    const double rjj = std::sqrt(norm2);
+    PCF_CHECK_MSG(rjj > 0.0, "mgs_qr: column " << j << " is numerically zero");
+    r(j, j) = rjj;
+    for (std::size_t i = 0; i < n; ++i) q(i, j) /= rjj;
+    for (std::size_t k = j + 1; k < m; ++k) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += q(i, j) * q(i, k);
+      r(j, k) = dot;
+      for (std::size_t i = 0; i < n; ++i) q(i, k) -= dot * q(i, j);
+    }
+  }
+  return out;
+}
+
+QrResult householder_qr(const Matrix& v) {
+  const std::size_t n = v.rows();
+  const std::size_t m = v.cols();
+  PCF_CHECK_MSG(n >= m, "householder_qr requires rows >= cols");
+  Matrix a = v;                      // will become R in its upper triangle
+  std::vector<std::vector<double>> vs;  // Householder vectors
+  vs.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    // Build the Householder vector for column k.
+    double norm2 = 0.0;
+    for (std::size_t i = k; i < n; ++i) norm2 += a(i, k) * a(i, k);
+    const double norm = std::sqrt(norm2);
+    std::vector<double> w(n, 0.0);
+    const double alpha = a(k, k) >= 0 ? -norm : norm;
+    double vnorm2 = 0.0;
+    w[k] = a(k, k) - alpha;
+    for (std::size_t i = k + 1; i < n; ++i) w[i] = a(i, k);
+    for (std::size_t i = k; i < n; ++i) vnorm2 += w[i] * w[i];
+    if (vnorm2 > 0.0) {
+      // Apply I − 2wwᵀ/(wᵀw) to the trailing block.
+      for (std::size_t j = k; j < m; ++j) {
+        double dot = 0.0;
+        for (std::size_t i = k; i < n; ++i) dot += w[i] * a(i, j);
+        const double scale = 2.0 * dot / vnorm2;
+        for (std::size_t i = k; i < n; ++i) a(i, j) -= scale * w[i];
+      }
+    }
+    vs.push_back(std::move(w));
+  }
+  QrResult out{Matrix(n, m), Matrix(m, m)};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) out.r(i, j) = a(i, j);
+  }
+  // Q = H_0 H_1 … H_{m-1} · [I_m; 0] — accumulate by applying reflectors in
+  // reverse to the thin identity.
+  Matrix q(n, m);
+  for (std::size_t j = 0; j < m; ++j) q(j, j) = 1.0;
+  for (std::size_t k = m; k-- > 0;) {
+    const auto& w = vs[k];
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < n; ++i) vnorm2 += w[i] * w[i];
+    if (vnorm2 == 0.0) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < n; ++i) dot += w[i] * q(i, j);
+      const double scale = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < n; ++i) q(i, j) -= scale * w[i];
+    }
+  }
+  out.q = std::move(q);
+  return out;
+}
+
+}  // namespace pcf::linalg

@@ -1,0 +1,24 @@
+// Sequential reference QR factorizations.
+//
+// Used as ground truth for the distributed dmGS: modified Gram-Schmidt is the
+// algorithm dmGS distributes (so dmGS in a perfect network must match it),
+// and Householder QR provides an independent, backward-stable reference.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace pcf::linalg {
+
+struct QrResult {
+  Matrix q;  ///< n×m with orthonormal columns
+  Matrix r;  ///< m×m upper triangular
+};
+
+/// Modified Gram-Schmidt QR (Golub & Van Loan, Alg. 5.2.6). Requires
+/// n ≥ m and numerically full column rank.
+[[nodiscard]] QrResult mgs_qr(const Matrix& v);
+
+/// Householder QR (thin factorization).
+[[nodiscard]] QrResult householder_qr(const Matrix& v);
+
+}  // namespace pcf::linalg

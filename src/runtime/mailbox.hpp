@@ -1,0 +1,47 @@
+// Thread-safe mailbox used by the threaded runtime.
+//
+// Each node owns one mailbox; any thread may push (deliver a packet), only
+// the owning worker drains. Draining swaps the queue out under the lock so
+// message processing happens outside the critical section.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "core/reducer.hpp"
+
+namespace pcf::runtime {
+
+struct Envelope {
+  net::NodeId from;
+  core::Packet packet;
+};
+
+class Mailbox {
+ public:
+  void push(Envelope envelope) {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(envelope));
+  }
+
+  /// Removes and returns all queued envelopes (FIFO order preserved).
+  [[nodiscard]] std::vector<Envelope> drain() {
+    std::vector<Envelope> out;
+    {
+      const std::scoped_lock lock(mutex_);
+      out.swap(queue_);
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const {
+    const std::scoped_lock lock(mutex_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Envelope> queue_;
+};
+
+}  // namespace pcf::runtime

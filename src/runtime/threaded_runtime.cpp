@@ -1,0 +1,98 @@
+#include "runtime/threaded_runtime.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pcf::runtime {
+
+namespace {
+std::pair<net::NodeId, net::NodeId> norm_edge(net::NodeId a, net::NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+}  // namespace
+
+ThreadedRuntime::ThreadedRuntime(net::Topology topology,
+                                 std::span<const core::Mass> initial, RuntimeConfig config)
+    : topology_(topology), config_(std::move(config)) {
+  PCF_CHECK_MSG(initial.size() == topology.size(), "one initial mass per node required");
+  if (config_.num_threads == 0) {
+    config_.num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  config_.num_threads = std::min(config_.num_threads, topology.size());
+
+  const Rng base(config_.seed);
+  for (net::NodeId i = 0; i < topology.size(); ++i) {
+    nodes_.push_back(core::make_reducer(config_.algorithm, config_.reducer));
+    nodes_.back()->init(i, topology.neighbors(i), initial[i]);
+    node_rngs_.push_back(base.fork(i));
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  shards_.resize(config_.num_threads);
+  for (net::NodeId i = 0; i < topology.size(); ++i) {
+    shards_[i % config_.num_threads].push_back(i);
+  }
+}
+
+void ThreadedRuntime::drain_node(net::NodeId i) {
+  for (auto& env : mailboxes_[i]->drain()) {
+    nodes_[i]->on_receive(env.from, env.packet);
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadedRuntime::worker(std::size_t worker_index, std::size_t steps_per_node,
+                             std::barrier<>& step_barrier) {
+  // Workers only ever mutate their own shard's reducers; cross-thread
+  // interaction is exclusively via mailboxes. The per-step barrier makes
+  // gossip steps globally interleave: without it, an OS that runs threads to
+  // completion (e.g. a single-core box) would let one worker fire its entire
+  // budget of sends before anyone replies — one giant burst instead of an
+  // iterative exchange, and the computation barely mixes.
+  for (std::size_t step = 0; step < steps_per_node; ++step) {
+    for (const net::NodeId i : shards_[worker_index]) {
+      drain_node(i);
+      auto out = nodes_[i]->make_message(node_rngs_[i]);
+      if (!out) continue;
+      if (dead_links_.count(norm_edge(i, out->to)) != 0) continue;  // cable cut
+      mailboxes_[out->to]->push({i, std::move(out->packet)});
+    }
+    step_barrier.arrive_and_wait();
+  }
+}
+
+void ThreadedRuntime::run(std::size_t steps_per_node) {
+  std::barrier step_barrier(static_cast<std::ptrdiff_t>(config_.num_threads));
+  std::vector<std::thread> workers;
+  workers.reserve(config_.num_threads);
+  for (std::size_t w = 0; w < config_.num_threads; ++w) {
+    workers.emplace_back(
+        [this, w, steps_per_node, &step_barrier] { worker(w, steps_per_node, step_barrier); });
+  }
+  for (auto& t : workers) t.join();
+  // Quiesce: receives never generate packets, so one drain pass empties all
+  // in-flight traffic.
+  for (net::NodeId i = 0; i < nodes_.size(); ++i) drain_node(i);
+}
+
+void ThreadedRuntime::fail_link(net::NodeId a, net::NodeId b) {
+  PCF_CHECK_MSG(topology_.has_edge(a, b), "fail_link: no such link");
+  if (!dead_links_.insert(norm_edge(a, b)).second) return;
+  nodes_[a]->on_link_down(b);
+  nodes_[b]->on_link_down(a);
+}
+
+std::vector<double> ThreadedRuntime::estimates(std::size_t k) const {
+  std::vector<double> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->estimate(k));
+  return out;
+}
+
+core::Mass ThreadedRuntime::total_mass() const {
+  core::Mass total = nodes_.front()->local_mass();
+  for (std::size_t i = 1; i < nodes_.size(); ++i) total += nodes_[i]->local_mass();
+  return total;
+}
+
+}  // namespace pcf::runtime

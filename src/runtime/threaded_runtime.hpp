@@ -1,0 +1,72 @@
+// Threaded gossip runtime — the algorithms outside the simulator.
+//
+// Every reducer from src/core runs here unmodified: nodes are sharded over
+// worker threads and packets travel through per-node mailboxes. Within a
+// step, workers interleave freely — delivery timing and crossings are real
+// nondeterminism, not simulated; a lightweight per-step barrier only paces
+// the workers so that gossip actually alternates (see worker()). Per
+// directed link FIFO holds because only the owning thread of the sender
+// produces packets for that link and mailboxes preserve push order.
+//
+// This is the evidence that the reduction algorithms depend only on
+// point-to-point messaging — the same property that would let them run over
+// MPI or sockets.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/reducer.hpp"
+#include "net/topology.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace pcf::runtime {
+
+struct RuntimeConfig {
+  core::Algorithm algorithm = core::Algorithm::kPushCancelFlow;
+  core::ReducerConfig reducer;
+  std::uint64_t seed = 1;
+  /// Worker threads; nodes are sharded round-robin. 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+};
+
+class ThreadedRuntime {
+ public:
+  /// The runtime stores its own copy of the topology, so temporaries are safe.
+  ThreadedRuntime(net::Topology topology, std::span<const core::Mass> initial,
+                  RuntimeConfig config);
+
+  /// Runs a phase in which every node performs `steps_per_node` gossip sends
+  /// (plus however many receives arrive), then drains all in-flight packets.
+  /// Blocks until the phase is complete. May be called repeatedly.
+  void run(std::size_t steps_per_node);
+
+  /// Injects a permanent link failure. Must be called between run() phases
+  /// (no workers active); both endpoints are notified immediately.
+  void fail_link(net::NodeId a, net::NodeId b);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::vector<double> estimates(std::size_t k = 0) const;
+  [[nodiscard]] core::Mass total_mass() const;
+  [[nodiscard]] const core::Reducer& node(net::NodeId i) const { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_.load(); }
+
+ private:
+  void worker(std::size_t worker_index, std::size_t steps_per_node, std::barrier<>& step_barrier);
+  void drain_node(net::NodeId i);
+
+  net::Topology topology_;
+  RuntimeConfig config_;
+  std::vector<std::unique_ptr<core::Reducer>> nodes_;
+  std::vector<Rng> node_rngs_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::vector<net::NodeId>> shards_;  // nodes per worker
+  std::set<std::pair<net::NodeId, net::NodeId>> dead_links_;
+  std::atomic<std::size_t> delivered_{0};
+};
+
+}  // namespace pcf::runtime

@@ -1,0 +1,173 @@
+#include "sim/engine_async.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pcf::sim {
+
+namespace {
+std::pair<NodeId, NodeId> norm_edge(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+}  // namespace
+
+AsyncEngine::AsyncEngine(net::Topology topology, std::span<const core::Mass> initial,
+                         AsyncEngineConfig config)
+    : topology_(topology),
+      config_(std::move(config)),
+      net_rng_(Rng(config_.seed).fork(topology.size() + 7)),
+      oracle_(initial) {
+  PCF_CHECK_MSG(initial.size() == topology.size(), "one initial mass per node required");
+  PCF_CHECK_MSG(config_.tick_rate > 0.0, "tick_rate must be positive");
+  PCF_CHECK_MSG(config_.latency_min >= 0.0 && config_.latency_max >= config_.latency_min,
+                "bad latency range");
+
+  const Rng base(config_.seed);
+  nodes_.reserve(topology.size());
+  for (NodeId i = 0; i < topology.size(); ++i) {
+    nodes_.push_back(core::make_reducer(config_.algorithm, config_.reducer));
+    nodes_.back()->init(i, topology.neighbors(i), initial[i]);
+    node_rngs_.push_back(base.fork(i));
+  }
+  alive_.assign(topology.size(), true);
+  for (NodeId i = 0; i < topology.size(); ++i) schedule_tick(i);
+  for (const auto& f : config_.faults.link_failures) {
+    PCF_CHECK_MSG(topology.has_edge(f.a, f.b), "fault plan: unknown link");
+    push({f.time, Event::Kind::kLinkFailure, f.a, f.b, 0, {}});
+  }
+  for (const auto& c : config_.faults.node_crashes) {
+    PCF_CHECK_MSG(c.node < topology.size(), "fault plan: crash node out of range");
+    push({c.time, Event::Kind::kCrash, c.node, 0, 0, {}});
+  }
+  for (const auto& u : config_.faults.data_updates) {
+    PCF_CHECK_MSG(u.node < topology.size(), "fault plan: data update node out of range");
+    Event e{u.time, Event::Kind::kDataUpdate, u.node, 0, 0, {}};
+    e.packet.a = u.delta;  // carry the delta in the payload slot
+    push(std::move(e));
+  }
+}
+
+void AsyncEngine::push(Event e) {
+  e.seq = seq_++;
+  queue_.push(std::move(e));
+}
+
+void AsyncEngine::schedule_tick(NodeId node) {
+  const double dt = node_rngs_[node].exponential(config_.tick_rate);
+  push({now_ + dt, Event::Kind::kTick, node, 0, 0, {}});
+}
+
+void AsyncEngine::fail_link(NodeId a, NodeId b) {
+  if (!dead_links_.insert(norm_edge(a, b)).second) return;
+  const double due = now_ + config_.faults.detection_delay;
+  push({due, Event::Kind::kDetect, a, b, 0, {}});
+  push({due, Event::Kind::kDetect, b, a, 0, {}});
+}
+
+void AsyncEngine::handle(const Event& e) {
+  switch (e.kind) {
+    case Event::Kind::kTick: {
+      const NodeId i = e.a;
+      if (!alive_[i]) return;
+      schedule_tick(i);
+      if (config_.faults.state_flip_prob > 0.0 &&
+          net_rng_.chance(config_.faults.state_flip_prob)) {
+        (void)nodes_[i]->corrupt_stored_flow(net_rng_);  // memory soft error
+      }
+      auto out = nodes_[i]->make_message(node_rngs_[i]);
+      if (!out) return;
+      if (dead_links_.count(norm_edge(i, out->to)) != 0 || !alive_[out->to]) return;
+      const auto& plan = config_.faults;
+      if (plan.message_loss_prob > 0.0 && net_rng_.chance(plan.message_loss_prob)) return;
+      core::Packet packet = std::move(out->packet);
+      if (plan.bit_flip_prob > 0.0 && net_rng_.chance(plan.bit_flip_prob)) {
+        flip_random_bit(packet, net_rng_, plan.bit_flip_any_bit);
+      }
+      double arrival = now_ + net_rng_.uniform(config_.latency_min, config_.latency_max);
+      // FIFO per directed link: never deliver before an earlier packet on the
+      // same link (the tiny epsilon keeps arrivals strictly ordered).
+      auto& last = last_arrival_[{i, out->to}];
+      arrival = std::max(arrival, last + 1e-9);
+      last = arrival;
+      push({arrival, Event::Kind::kDelivery, i, out->to, 0, std::move(packet)});
+      return;
+    }
+    case Event::Kind::kDelivery: {
+      // A packet already in flight when its link died is lost, matching a
+      // physical cable cut rather than a graceful shutdown.
+      if (dead_links_.count(norm_edge(e.a, e.b)) != 0 || !alive_[e.b]) return;
+      nodes_[e.b]->on_receive(e.a, e.packet);
+      ++delivered_;
+      return;
+    }
+    case Event::Kind::kLinkFailure:
+      fail_link(e.a, e.b);
+      return;
+    case Event::Kind::kCrash: {
+      if (!alive_[e.a]) return;
+      alive_[e.a] = false;
+      for (const NodeId peer : topology_.neighbors(e.a)) fail_link(e.a, peer);
+      pending_retarget_ = true;
+      return;
+    }
+    case Event::Kind::kDataUpdate: {
+      if (!alive_[e.a]) return;
+      nodes_[e.a]->update_data(e.packet.a);
+      // A live update changes the conserved mass by exactly delta — no
+      // snapshot needed, so this is exact even with packets in flight.
+      oracle_.shift(e.packet.a);
+      return;
+    }
+    case Event::Kind::kDetect: {
+      if (alive_[e.a]) nodes_[e.a]->on_link_down(e.b);
+      if (pending_retarget_) {
+        std::vector<core::Mass> current;
+        for (NodeId i = 0; i < nodes_.size(); ++i) {
+          if (alive_[i]) current.push_back(nodes_[i]->local_mass());
+        }
+        oracle_.retarget(current);
+        // Retarget on every detect while a crash settles; the final detect
+        // leaves the correct conserved target.
+      }
+      return;
+    }
+  }
+}
+
+void AsyncEngine::run_until(double time) {
+  while (!queue_.empty() && queue_.top().time <= time) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    handle(e);
+  }
+  now_ = std::max(now_, time);
+}
+
+bool AsyncEngine::run_until_error(double tol, double deadline, double check_interval) {
+  PCF_CHECK_MSG(check_interval > 0.0, "check interval must be positive");
+  while (now_ < deadline) {
+    run_until(std::min(now_ + check_interval, deadline));
+    if (max_error() <= tol) return true;
+  }
+  return max_error() <= tol;
+}
+
+std::vector<double> AsyncEngine::estimates(std::size_t k) const {
+  std::vector<double> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) out.push_back(nodes_[i]->estimate(k));
+  }
+  return out;
+}
+
+double AsyncEngine::max_error(std::size_t k) const {
+  double worst = 0.0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) worst = std::max(worst, oracle_.error_of(nodes_[i]->estimate(k), k));
+  }
+  return worst;
+}
+
+}  // namespace pcf::sim

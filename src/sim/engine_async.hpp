@@ -1,0 +1,107 @@
+// Asynchronous event-driven gossip engine.
+//
+// Gossip reduction needs no synchronization — that is one of its selling
+// points. This engine drops the round barrier of SyncEngine: every node owns
+// a Poisson clock (rate `tick_rate`) and gossips whenever it fires, and every
+// packet travels with a random latency drawn from [latency_min, latency_max).
+// Per directed link, delivery is FIFO (arrival times are clamped to be
+// monotone): the PCF handshake assumes in-order-or-lost delivery, which every
+// realistic transport (TCP, MPI) provides.
+//
+// Used by integration tests and ablations to demonstrate that the accuracy /
+// fault-tolerance results do not depend on the synchronous model.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "core/reducer.hpp"
+#include "sim/faults.hpp"
+#include "sim/metrics.hpp"
+
+namespace pcf::sim {
+
+struct AsyncEngineConfig {
+  core::Algorithm algorithm = core::Algorithm::kPushCancelFlow;
+  core::ReducerConfig reducer;
+  FaultPlan faults;  // event times are in simulation time units
+  std::uint64_t seed = 1;
+  double tick_rate = 1.0;     ///< gossip sends per node per time unit
+  double latency_min = 0.05;  ///< packet latency lower bound
+  double latency_max = 0.5;   ///< packet latency upper bound (exclusive)
+};
+
+// A note on node crashes and the oracle: unlike the synchronous engine
+// (which processes faults at round boundaries when nothing is in flight), the
+// asynchronous network always has packets in transit. A crash therefore loses
+// in-flight mass, and the oracle's retarget — a snapshot of the survivors'
+// masses at detection time — approximates the eventual conserved value up to
+// the mass in flight at that instant. Tests assert consensus plus a bounded
+// bias for async crashes, and exact convergence for synchronous ones.
+class AsyncEngine {
+ public:
+  /// The engine stores its own copy of the topology, so temporaries are safe.
+  AsyncEngine(net::Topology topology, std::span<const core::Mass> initial,
+              AsyncEngineConfig config);
+
+  /// Advances the simulation until `time` (processing all events due).
+  void run_until(double time);
+
+  /// Advances until oracle max error ≤ tol or until `deadline`. Checks the
+  /// error every `check_interval` time units. Returns true on success.
+  bool run_until_error(double tol, double deadline, double check_interval = 1.0);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  /// Live access to the fault model between run_until() calls. Only the
+  /// probabilistic knobs (loss / flip / state-flip rates) may be changed;
+  /// scheduled events are fixed at construction.
+  [[nodiscard]] FaultPlan& mutable_faults() noexcept { return config_.faults; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Oracle& oracle() const noexcept { return oracle_; }
+  [[nodiscard]] core::Reducer& node(NodeId i) { return *nodes_.at(i); }
+  [[nodiscard]] std::vector<double> estimates(std::size_t k = 0) const;
+  [[nodiscard]] double max_error(std::size_t k = 0) const;
+  [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
+  [[nodiscard]] bool node_alive(NodeId i) const { return alive_.at(i); }
+
+ private:
+  struct Event {
+    double time;
+    enum class Kind { kTick, kDelivery, kLinkFailure, kCrash, kDetect, kDataUpdate } kind;
+    NodeId a = 0;  // tick/crash: node; delivery: sender; link: endpoint a
+    NodeId b = 0;  // delivery: receiver; link: endpoint b; detect: peer
+    std::uint64_t seq = 0;  // tie-break for deterministic ordering
+    core::Packet packet;
+  };
+  struct EventOrder {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.time != y.time) return x.time > y.time;  // min-heap by time
+      return x.seq > y.seq;
+    }
+  };
+
+  void push(Event e);
+  void handle(const Event& e);
+  void schedule_tick(NodeId node);
+  void fail_link(NodeId a, NodeId b);
+
+  net::Topology topology_;
+  AsyncEngineConfig config_;
+  std::vector<std::unique_ptr<core::Reducer>> nodes_;
+  std::vector<Rng> node_rngs_;
+  Rng net_rng_;
+  Oracle oracle_;
+  std::vector<bool> alive_;
+  std::set<std::pair<NodeId, NodeId>> dead_links_;
+  std::map<std::pair<NodeId, NodeId>, double> last_arrival_;  // FIFO clamp per directed link
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::size_t delivered_ = 0;
+  bool pending_retarget_ = false;
+};
+
+}  // namespace pcf::sim

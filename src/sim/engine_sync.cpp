@@ -1,0 +1,263 @@
+#include "sim/engine_sync.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace pcf::sim {
+
+namespace {
+std::pair<NodeId, NodeId> norm_edge(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+}  // namespace
+
+SyncEngine::SyncEngine(net::Topology topology, std::span<const core::Mass> initial,
+                       SyncEngineConfig config)
+    : topology_(topology),
+      config_(std::move(config)),
+      fault_rng_(Rng(config_.seed).fork(topology.size() + 1)),
+      oracle_(initial) {
+  PCF_CHECK_MSG(initial.size() == topology.size(), "one initial mass per node required");
+  PCF_CHECK_MSG(topology.is_connected(), "topology must be connected");
+
+  const Rng base(config_.seed);
+  nodes_.reserve(topology.size());
+  node_rngs_.reserve(topology.size());
+  for (NodeId i = 0; i < topology.size(); ++i) {
+    nodes_.push_back(core::make_reducer(config_.algorithm, config_.reducer));
+    nodes_.back()->init(i, topology.neighbors(i), initial[i]);
+    node_rngs_.push_back(base.fork(i));
+  }
+  alive_.assign(topology.size(), true);
+
+  // Events fire in time order regardless of the order given in the plan.
+  std::sort(config_.faults.link_failures.begin(), config_.faults.link_failures.end(),
+            [](const auto& x, const auto& y) { return x.time < y.time; });
+  std::sort(config_.faults.node_crashes.begin(), config_.faults.node_crashes.end(),
+            [](const auto& x, const auto& y) { return x.time < y.time; });
+  for (const auto& f : config_.faults.link_failures) {
+    PCF_CHECK_MSG(topology.has_edge(f.a, f.b),
+                  "fault plan: no link " << f.a << "-" << f.b << " in topology");
+  }
+  for (const auto& c : config_.faults.node_crashes) {
+    PCF_CHECK_MSG(c.node < topology.size(), "fault plan: crash node out of range");
+  }
+  std::sort(config_.faults.data_updates.begin(), config_.faults.data_updates.end(),
+            [](const auto& x, const auto& y) { return x.time < y.time; });
+  for (const auto& u : config_.faults.data_updates) {
+    PCF_CHECK_MSG(u.node < topology.size(), "fault plan: data update node out of range");
+  }
+}
+
+void SyncEngine::fail_link(NodeId a, NodeId b, double physical_time) {
+  const auto edge = norm_edge(a, b);
+  if (!dead_links_.insert(edge).second) return;  // already dead
+  const double due = physical_time + config_.faults.detection_delay;
+  pending_notices_.push_back({due, a, b});
+  pending_notices_.push_back({due, b, a});
+}
+
+void SyncEngine::deliver_notifications_due() {
+  const auto now = static_cast<double>(round_);
+  auto it = pending_notices_.begin();
+  while (it != pending_notices_.end()) {
+    if (it->due_time <= now) {
+      if (alive_[it->node]) nodes_[it->node]->on_link_down(it->peer);
+      it = pending_notices_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SyncEngine::process_due_faults() {
+  const auto now = static_cast<double>(round_);
+  auto& plan = config_.faults;
+  while (next_link_failure_ < plan.link_failures.size() &&
+         plan.link_failures[next_link_failure_].time <= now) {
+    const auto& f = plan.link_failures[next_link_failure_++];
+    fail_link(f.a, f.b, f.time);
+  }
+  while (next_node_crash_ < plan.node_crashes.size() &&
+         plan.node_crashes[next_node_crash_].time <= now) {
+    const auto& c = plan.node_crashes[next_node_crash_++];
+    if (!alive_[c.node]) continue;
+    alive_[c.node] = false;
+    for (const NodeId peer : topology_.neighbors(c.node)) fail_link(c.node, peer, c.time);
+    // The crashed node's mass left the computation; once the exclusion
+    // notifications below have fired, the survivors' conserved mass is the
+    // new target.
+    pending_retarget_ = true;
+  }
+  while (next_data_update_ < plan.data_updates.size() &&
+         plan.data_updates[next_data_update_].time <= now) {
+    const auto& u = plan.data_updates[next_data_update_++];
+    if (!alive_[u.node]) continue;
+    nodes_[u.node]->update_data(u.delta);
+    // A live update changes the conserved mass by exactly delta.
+    oracle_.shift(u.delta);
+  }
+  deliver_notifications_due();
+  if (pending_retarget_ && pending_notices_.empty()) {
+    oracle_.retarget(masses());
+    pending_retarget_ = false;
+  }
+}
+
+void SyncEngine::fail_link_now(NodeId a, NodeId b) {
+  PCF_CHECK_MSG(topology_.has_edge(a, b), "fail_link_now: no link " << a << "-" << b);
+  if (!dead_links_.insert(norm_edge(a, b)).second) return;
+  if (alive_[a]) nodes_[a]->on_link_down(b);
+  if (alive_[b]) nodes_[b]->on_link_down(a);
+}
+
+void SyncEngine::apply_data_update(NodeId node, const core::Mass& delta) {
+  PCF_CHECK_MSG(node < nodes_.size(), "data update node out of range");
+  PCF_CHECK_MSG(alive_[node], "data update on a crashed node");
+  nodes_[node]->update_data(delta);
+  oracle_.shift(delta);
+}
+
+std::size_t SyncEngine::step() {
+  process_due_faults();
+  ++round_;
+
+  wire_.clear();
+  auto& plan = config_.faults;
+  if (plan.state_flip_prob > 0.0) {
+    for (NodeId i = 0; i < nodes_.size(); ++i) {
+      if (alive_[i] && fault_rng_.chance(plan.state_flip_prob)) {
+        if (nodes_[i]->corrupt_stored_flow(fault_rng_)) ++stats_.state_flips;
+      }
+    }
+  }
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!alive_[i]) continue;
+    auto out = nodes_[i]->make_message(node_rngs_[i]);
+    if (!out) continue;
+    ++stats_.messages_sent;
+    stats_.doubles_sent += nodes_[i]->wire_masses() * (out->packet.a.dim() + 1);
+    // Transport faults, in physical order: a dead link transports nothing; a
+    // live link may drop or corrupt the packet.
+    if (dead_links_.count(norm_edge(i, out->to)) != 0 || !alive_[out->to]) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    if (plan.message_loss_prob > 0.0 && fault_rng_.chance(plan.message_loss_prob)) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    if (plan.bit_flip_prob > 0.0 && fault_rng_.chance(plan.bit_flip_prob)) {
+      flip_random_bit(out->packet, fault_rng_, plan.bit_flip_any_bit);
+      ++stats_.messages_flipped;
+    }
+    if (config_.delivery == Delivery::kSequential) {
+      nodes_[out->to]->on_receive(i, out->packet);
+    } else {
+      wire_.push_back({i, out->to, std::move(out->packet)});
+    }
+  }
+  // Crossing mode: delivery after all sends.
+  for (const auto& msg : wire_) {
+    if (!alive_[msg.to]) continue;
+    nodes_[msg.to]->on_receive(msg.from, msg.packet);
+  }
+  stats_.rounds = round_;
+  return round_;
+}
+
+void SyncEngine::run(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) step();
+}
+
+RunStats SyncEngine::run_until_error(double tol, std::size_t max_rounds) {
+  PCF_CHECK_MSG(tol > 0.0, "tolerance must be positive");
+  stats_.reached_target = false;
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    step();
+    if (max_error() <= tol) {
+      stats_.reached_target = true;
+      break;
+    }
+  }
+  return stats_;
+}
+
+RunStats SyncEngine::run_until_fixed_point(std::size_t max_rounds, std::size_t window) {
+  core::FixedPointStop detector(window);
+  stats_.reached_target = false;
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    step();
+    if (detector.observe(estimates())) {
+      stats_.reached_target = true;
+      break;
+    }
+  }
+  return stats_;
+}
+
+std::vector<double> SyncEngine::estimates(std::size_t k) const {
+  std::vector<double> out;
+  out.reserve(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) out.push_back(nodes_[i]->estimate(k));
+  }
+  return out;
+}
+
+std::vector<core::Mass> SyncEngine::masses() const {
+  std::vector<core::Mass> out;
+  out.reserve(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) out.push_back(nodes_[i]->local_mass());
+  }
+  return out;
+}
+
+double SyncEngine::max_error(std::size_t k) const {
+  double worst = 0.0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) worst = std::max(worst, oracle_.error_of(nodes_[i]->estimate(k), k));
+  }
+  return worst;
+}
+
+double SyncEngine::median_error(std::size_t k) const { return error_quantile(0.5, k); }
+
+double SyncEngine::error_quantile(double q, std::size_t k) const {
+  std::vector<double> errs;
+  errs.reserve(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) errs.push_back(oracle_.error_of(nodes_[i]->estimate(k), k));
+  }
+  return quantile(errs, q);
+}
+
+double SyncEngine::max_abs_flow() const {
+  double best = 0.0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) best = std::max(best, nodes_[i]->max_abs_flow_component());
+  }
+  return best;
+}
+
+TracePoint SyncEngine::sample(std::size_t k) const {
+  std::vector<double> errs;
+  errs.reserve(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) errs.push_back(oracle_.error_of(nodes_[i]->estimate(k), k));
+  }
+  TracePoint p;
+  p.time = static_cast<double>(round_);
+  p.max_error = max_value(errs);
+  p.median_error = median(errs);
+  RunningStats rs;
+  for (double e : errs) rs.add(e);
+  p.mean_error = rs.mean();
+  p.max_abs_flow = max_abs_flow();
+  return p;
+}
+
+}  // namespace pcf::sim

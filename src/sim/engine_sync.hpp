@@ -1,0 +1,152 @@
+// Synchronous round-based gossip engine.
+//
+// One round = every live node draws a gossip target and emits one packet; all
+// packets of the round are then delivered (receivers see the senders' states
+// as they were at the start of the round, i.e. messages "cross" — the classic
+// synchronous gossip model used by the paper's experiments). Everything is
+// deterministic given the seed: node i draws its targets from its own forked
+// RNG stream, so runs of *different algorithms* with the same seed use the
+// same communication schedule — which is how the paper makes Fig. 4 and
+// Fig. 7 directly comparable ("we initially used exactly the same random
+// seed").
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/reducer.hpp"
+#include "core/stopping.hpp"
+#include "net/topology.hpp"
+#include "sim/faults.hpp"
+#include "sim/metrics.hpp"
+
+namespace pcf::sim {
+
+/// Within-round delivery model.
+enum class Delivery {
+  /// Each packet is delivered as soon as its sender produced it (node order).
+  /// No two packets are ever in flight at once, so pairwise flow conservation
+  /// holds after every delivery and the total mass is exactly conserved at
+  /// every round boundary. Default, and the model the paper's invariants
+  /// assume.
+  kSequential,
+  /// All packets of a round are sent first, then delivered ("messages
+  /// cross"). Two nodes that pick each other in the same round each mirror
+  /// the other's STALE flow, transiently breaking conservation — a stress
+  /// model the flow algorithms must (and do) self-heal from.
+  kCrossing,
+};
+
+struct SyncEngineConfig {
+  core::Algorithm algorithm = core::Algorithm::kPushCancelFlow;
+  core::ReducerConfig reducer;
+  FaultPlan faults;
+  std::uint64_t seed = 1;
+  Delivery delivery = Delivery::kSequential;
+};
+
+struct RunStats {
+  std::size_t rounds = 0;
+  std::size_t messages_sent = 0;
+  std::size_t messages_dropped = 0;  // by message-loss injection or dead links
+  std::size_t messages_flipped = 0;
+  std::size_t doubles_sent = 0;  // payload bandwidth (mass components on the wire)
+  std::size_t state_flips = 0;   // memory soft errors injected
+  bool reached_target = false;   // for run_until_error
+};
+
+class SyncEngine {
+ public:
+  /// `initial` is one mass per node (all same dimension). The weight layout
+  /// decides the aggregate (see core::initial_weight).
+  /// The engine stores its own copy of the topology, so temporaries are safe.
+  SyncEngine(net::Topology topology, std::span<const core::Mass> initial,
+             SyncEngineConfig config);
+
+  /// Executes one synchronous round (fault events due at this round fire
+  /// first). Returns the round index just executed (1-based).
+  std::size_t step();
+
+  /// Runs `rounds` rounds.
+  void run(std::size_t rounds);
+
+  /// Runs until the oracle max relative error ≤ tol or max_rounds elapsed.
+  RunStats run_until_error(double tol, std::size_t max_rounds);
+
+  /// Runs until no estimate changes for `window` consecutive rounds (the
+  /// numerical fixed point — best accuracy the algorithm will ever reach),
+  /// or until max_rounds.
+  RunStats run_until_fixed_point(std::size_t max_rounds, std::size_t window = 32);
+
+  // ---- observation ----
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  [[nodiscard]] const Oracle& oracle() const noexcept { return oracle_; }
+  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+  /// Live access to the fault model between steps. Only the probabilistic
+  /// knobs (message_loss_prob, bit_flip_prob, bit_flip_any_bit) may be
+  /// changed mid-run; the scheduled event lists are fixed at construction.
+  [[nodiscard]] FaultPlan& mutable_faults() noexcept { return config_.faults; }
+
+  /// Programmatic live data update: node's input changes by `delta` and the
+  /// oracle target shifts exactly. The flow state is untouched, so estimates
+  /// re-converge from where they are — the basis of warm-started reduction
+  /// sessions (see sim::ReductionSession).
+  void apply_data_update(NodeId node, const core::Mass& delta);
+
+  /// Programmatic permanent link failure: transport stops now, both endpoints
+  /// are notified immediately (detection delay does not apply).
+  void fail_link_now(NodeId a, NodeId b);
+  [[nodiscard]] core::Reducer& node(NodeId i) { return *nodes_.at(i); }
+  [[nodiscard]] const core::Reducer& node(NodeId i) const { return *nodes_.at(i); }
+  [[nodiscard]] bool node_alive(NodeId i) const { return alive_.at(i); }
+
+  /// Estimates of component k on all live nodes (dead nodes are skipped).
+  [[nodiscard]] std::vector<double> estimates(std::size_t k = 0) const;
+  /// Current masses of all live nodes.
+  [[nodiscard]] std::vector<core::Mass> masses() const;
+  [[nodiscard]] double max_error(std::size_t k = 0) const;
+  [[nodiscard]] double median_error(std::size_t k = 0) const;
+  /// Quantile q of the live nodes' local relative errors (q in [0,1]).
+  [[nodiscard]] double error_quantile(double q, std::size_t k = 0) const;
+  /// Largest flow component across all live nodes (ablation A3).
+  [[nodiscard]] double max_abs_flow() const;
+  /// Samples a TracePoint for the current state.
+  [[nodiscard]] TracePoint sample(std::size_t k = 0) const;
+
+ private:
+  void process_due_faults();
+  void fail_link(NodeId a, NodeId b, double physical_time);
+  void deliver_notifications_due();
+
+  net::Topology topology_;
+  SyncEngineConfig config_;
+  std::vector<std::unique_ptr<core::Reducer>> nodes_;
+  std::vector<Rng> node_rngs_;
+  Rng fault_rng_;
+  Oracle oracle_;
+  std::vector<bool> alive_;
+  std::set<std::pair<NodeId, NodeId>> dead_links_;  // normalized (min,max); transport cut
+  struct PendingNotice {
+    double due_time;
+    NodeId node;  // who gets on_link_down
+    NodeId peer;
+  };
+  std::vector<PendingNotice> pending_notices_;
+  std::size_t next_link_failure_ = 0;
+  std::size_t next_node_crash_ = 0;
+  std::size_t next_data_update_ = 0;
+  std::size_t round_ = 0;
+  RunStats stats_;
+  bool pending_retarget_ = false;
+
+  struct InFlight {
+    NodeId from;
+    NodeId to;
+    core::Packet packet;
+  };
+  std::vector<InFlight> wire_;  // reused per round
+};
+
+}  // namespace pcf::sim

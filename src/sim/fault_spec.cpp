@@ -1,0 +1,63 @@
+#include "sim/fault_spec.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pcf::sim {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  if (s.empty()) return parts;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    parts.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+double to_double(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  PCF_CHECK_MSG(end && *end == '\0' && !s.empty(), "bad " << what << " '" << s << "'");
+  return v;
+}
+
+NodeId to_node(const std::string& s) {
+  char* end = nullptr;
+  const auto v = std::strtoul(s.c_str(), &end, 10);
+  PCF_CHECK_MSG(end && *end == '\0' && !s.empty(), "bad node id '" << s << "'");
+  return static_cast<NodeId>(v);
+}
+
+}  // namespace
+
+FaultPlan parse_fault_spec(const std::string& link_failures, const std::string& node_crashes,
+                           const std::string& data_updates) {
+  FaultPlan plan;
+  for (const auto& item : split(link_failures, ',')) {
+    const auto fields = split(item, ':');
+    PCF_CHECK_MSG(fields.size() == 3, "link failure wants T:A:B, got '" << item << "'");
+    plan.link_failures.push_back(
+        {to_double(fields[0], "time"), to_node(fields[1]), to_node(fields[2])});
+  }
+  for (const auto& item : split(node_crashes, ',')) {
+    const auto fields = split(item, ':');
+    PCF_CHECK_MSG(fields.size() == 2, "node crash wants T:N, got '" << item << "'");
+    plan.node_crashes.push_back({to_double(fields[0], "time"), to_node(fields[1])});
+  }
+  for (const auto& item : split(data_updates, ',')) {
+    const auto fields = split(item, ':');
+    PCF_CHECK_MSG(fields.size() == 3, "data update wants T:N:DELTA, got '" << item << "'");
+    plan.data_updates.push_back({to_double(fields[0], "time"), to_node(fields[1]),
+                                 core::Mass::scalar(to_double(fields[2], "delta"), 0.0)});
+  }
+  return plan;
+}
+
+}  // namespace pcf::sim

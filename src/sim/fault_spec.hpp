@@ -1,0 +1,21 @@
+// Textual fault-plan specifications for command-line tools.
+//
+// Grammar (comma-separated event lists, times in rounds):
+//   link failures : "T:A:B[,T:A:B...]"      e.g.  "75:0:1,120:2:3"
+//   node crashes  : "T:N[,T:N...]"          e.g.  "100:5"
+//   data updates  : "T:N:DELTA[,...]"       e.g.  "50:3:2.5,80:0:-1"
+#pragma once
+
+#include <string>
+
+#include "sim/faults.hpp"
+
+namespace pcf::sim {
+
+/// Parses the three event lists (each may be empty) into a FaultPlan.
+/// Throws ContractViolation with a pointed message on malformed input.
+[[nodiscard]] FaultPlan parse_fault_spec(const std::string& link_failures,
+                                         const std::string& node_crashes,
+                                         const std::string& data_updates);
+
+}  // namespace pcf::sim

@@ -1,0 +1,32 @@
+#include "sim/faults.hpp"
+
+#include <cstring>
+
+namespace pcf::sim {
+
+void flip_random_bit(Packet& packet, Rng& rng, bool any_bit) {
+  // Candidate doubles: all value components and weights of both masses.
+  std::vector<double*> slots;
+  slots.reserve(packet.a.dim() + packet.b.dim() + 2);
+  for (auto& v : packet.a.s) slots.push_back(&v);
+  slots.push_back(&packet.a.w);
+  for (auto& v : packet.b.s) slots.push_back(&v);
+  slots.push_back(&packet.b.w);
+
+  double* victim = slots[static_cast<std::size_t>(rng.below(slots.size()))];
+  // Mantissa bits 0..51 plus the sign bit 63 by default; exponent bits
+  // (52..62) only when any_bit is requested.
+  std::uint64_t bit_index;
+  if (any_bit) {
+    bit_index = rng.below(64);
+  } else {
+    bit_index = rng.below(53);
+    if (bit_index == 52) bit_index = 63;  // map the 53rd choice to the sign bit
+  }
+  std::uint64_t bits;
+  std::memcpy(&bits, victim, sizeof bits);
+  bits ^= (std::uint64_t{1} << bit_index);
+  std::memcpy(victim, &bits, sizeof bits);
+}
+
+}  // namespace pcf::sim

@@ -1,0 +1,78 @@
+// Fault injection model.
+//
+// The paper's fault classes and how they are injected here:
+//  * message loss   — each packet is independently dropped with probability
+//                     `message_loss_prob` (soft error; no one is notified);
+//  * bit flips      — each delivered packet has a random bit of one payload
+//                     double flipped with probability `bit_flip_prob`. By
+//                     default only mantissa/sign bits are flipped: an exponent
+//                     flip can turn a value into NaN/Inf, which no
+//                     mass-conserving scheme can cancel out and which real
+//                     systems catch with range checks (set
+//                     `bit_flip_any_bit` to exercise that case anyway);
+//  * permanent link failure — at `time` the link stops transporting packets;
+//                     both endpoints' failure detectors fire `detection_delay`
+//                     later and the algorithms exclude the link;
+//  * node crash     — modeled, as in the paper, as the permanent failure of
+//                     all the node's links. The crashed node's unrecoverable
+//                     mass leaves the computation, so the engines re-derive
+//                     the oracle target from the surviving nodes' masses.
+#pragma once
+
+#include <vector>
+
+#include "core/reducer.hpp"
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+
+namespace pcf::sim {
+
+using core::Packet;
+using net::NodeId;
+
+struct LinkFailureEvent {
+  double time = 0.0;  ///< in rounds (sync engine) or time units (async engine)
+  NodeId a = 0;
+  NodeId b = 0;
+};
+
+struct NodeCrashEvent {
+  double time = 0.0;
+  NodeId node = 0;
+};
+
+/// A live input change (not a fault — dynamic monitoring à la LiMoSense):
+/// at `time`, node `node`'s local data changes by `delta`. The flow-based
+/// algorithms track the moving aggregate; the engines retarget the oracle.
+struct DataUpdateEvent {
+  double time = 0.0;
+  NodeId node = 0;
+  core::Mass delta;
+};
+
+struct FaultPlan {
+  double message_loss_prob = 0.0;
+  double bit_flip_prob = 0.0;
+  bool bit_flip_any_bit = false;
+  /// Memory soft errors: per node and round, the probability that one bit of
+  /// one STORED flow variable flips (vs. bit_flip_prob, which corrupts
+  /// packets in transit). See Reducer::corrupt_stored_flow.
+  double state_flip_prob = 0.0;
+  /// Delay between a permanent failure and the failure-detector callback
+  /// (on_link_down) at the endpoints. 0 matches the paper's experiments.
+  double detection_delay = 0.0;
+  std::vector<LinkFailureEvent> link_failures;
+  std::vector<NodeCrashEvent> node_crashes;
+  std::vector<DataUpdateEvent> data_updates;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return message_loss_prob == 0.0 && bit_flip_prob == 0.0 && state_flip_prob == 0.0 &&
+           link_failures.empty() && node_crashes.empty() && data_updates.empty();
+  }
+};
+
+/// Flips one random bit of one randomly chosen payload double in `packet`.
+/// Honors `any_bit` (see FaultPlan::bit_flip_any_bit).
+void flip_random_bit(Packet& packet, Rng& rng, bool any_bit);
+
+}  // namespace pcf::sim

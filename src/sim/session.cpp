@@ -1,0 +1,73 @@
+#include "sim/session.hpp"
+
+#include "support/check.hpp"
+
+namespace pcf::sim {
+
+namespace {
+
+SyncEngineConfig engine_config(const SessionOptions& options) {
+  SyncEngineConfig cfg;
+  cfg.algorithm = options.algorithm;
+  cfg.reducer = options.reducer;
+  cfg.faults = options.faults;
+  cfg.seed = options.seed;
+  return cfg;
+}
+
+}  // namespace
+
+ReductionSession::ReductionSession(net::Topology topology,
+                                   std::span<const core::Values> initial,
+                                   SessionOptions options)
+    : options_(std::move(options)),
+      current_(initial.begin(), initial.end()),
+      engine_(std::move(topology), masses_from_vectors(initial, options_.aggregate),
+              engine_config(options_)) {
+  PCF_CHECK_MSG(!current_.empty(), "session needs inputs");
+}
+
+SessionQueryResult ReductionSession::run_to_target() {
+  const std::size_t before = engine_.round();
+  const auto stats =
+      engine_.run_until_error(options_.target_accuracy, options_.max_rounds_per_query);
+  ++queries_;
+
+  SessionQueryResult result;
+  result.rounds = engine_.round() - before;
+  result.reached_target = stats.reached_target;
+  result.max_error = engine_.max_error();
+  const std::size_t d = current_.front().size();
+  result.estimates.assign(engine_.size(),
+                          std::vector<double>(d, std::numeric_limits<double>::quiet_NaN()));
+  for (net::NodeId i = 0; i < engine_.size(); ++i) {
+    if (!engine_.node_alive(i)) continue;
+    for (std::size_t k = 0; k < d; ++k) result.estimates[i][k] = engine_.node(i).estimate(k);
+  }
+  return result;
+}
+
+SessionQueryResult ReductionSession::query(std::span<const core::Values> values) {
+  PCF_CHECK_MSG(values.size() == current_.size(), "one input vector per node required");
+  const std::size_t d = current_.front().size();
+  for (net::NodeId i = 0; i < values.size(); ++i) {
+    PCF_CHECK_MSG(values[i].size() == d, "session input dimension is fixed at construction");
+    core::Mass delta = core::Mass::zero(d);
+    bool changed = false;
+    for (std::size_t k = 0; k < d; ++k) {
+      delta.s[k] = values[i][k] - current_[i][k];
+      changed = changed || delta.s[k] != 0.0;
+    }
+    if (changed && engine_.node_alive(i)) {
+      engine_.apply_data_update(i, delta);
+      current_[i] = values[i];
+    }
+  }
+  return run_to_target();
+}
+
+SessionQueryResult ReductionSession::refresh() { return run_to_target(); }
+
+void ReductionSession::fail_link(net::NodeId a, net::NodeId b) { engine_.fail_link_now(a, b); }
+
+}  // namespace pcf::sim

@@ -1,0 +1,85 @@
+// Warm-started reduction sessions.
+//
+// Iterative algorithms (solvers, monitoring loops, factorizations) compute
+// many reductions whose inputs change only a little between rounds. Starting
+// each reduction from scratch throws away the converged flow state; a
+// ReductionSession instead keeps ONE engine alive and feeds input *changes*
+// as live data updates — the estimates re-converge from where they are, so
+// the closer the new inputs are to the old ones, the fewer gossip rounds the
+// next result costs. This is the paper's introduction made concrete: "higher
+// level matrix operations can benefit from the iterative nature of
+// gossip-based reduction algorithms for saving communication costs".
+//
+// The session inherits the full fault tolerance of the underlying algorithm:
+// link failures and message loss between or during queries only delay
+// convergence (see tests).
+//
+// WHEN TO USE — magnitudes must stay comparable. A gossip reduction's
+// relative accuracy is scale-invariant only when its flow state grew at the
+// data's scale: a warm session keeps absolute FP noise from earlier values,
+// so querying a sequence whose magnitude shrinks geometrically (e.g. the
+// residual norms of a converging solver) eventually cannot reach a relative
+// target — run those cold (see the note in linalg/distributed_solver.cpp),
+// or rescale the inputs by the previous result.
+#pragma once
+
+#include "sim/engine_sync.hpp"
+#include "sim/reduce.hpp"
+
+namespace pcf::sim {
+
+struct SessionOptions {
+  core::Algorithm algorithm = core::Algorithm::kPushCancelFlow;
+  core::Aggregate aggregate = core::Aggregate::kSum;
+  core::ReducerConfig reducer;
+  std::uint64_t seed = 1;
+  double target_accuracy = 1e-12;
+  std::size_t max_rounds_per_query = 50000;
+  FaultPlan faults;  ///< probabilistic knobs apply to the whole session
+};
+
+struct SessionQueryResult {
+  /// Estimate per node and component.
+  std::vector<std::vector<double>> estimates;
+  std::size_t rounds = 0;  ///< gossip rounds THIS query cost
+  bool reached_target = false;
+  double max_error = 0.0;
+
+  [[nodiscard]] double estimate(std::size_t node, std::size_t k = 0) const {
+    return estimates.at(node).at(k);
+  }
+};
+
+class ReductionSession {
+ public:
+  /// Starts the session with the given per-node input vectors (fixed
+  /// dimension d ≤ core::kMaxDim for the session's lifetime).
+  ReductionSession(net::Topology topology, std::span<const core::Values> initial,
+                   SessionOptions options);
+
+  /// Updates the inputs to `values` (deltas are fed as live data updates) and
+  /// runs until every node is within the target accuracy again. The first
+  /// call with `values == initial` measures the cold-start cost; subsequent
+  /// calls are warm.
+  SessionQueryResult query(std::span<const core::Values> values);
+
+  /// Re-runs to the target without changing inputs (e.g. after faults).
+  SessionQueryResult refresh();
+
+  /// Injects a permanent link failure into the live session.
+  void fail_link(net::NodeId a, net::NodeId b);
+
+  [[nodiscard]] std::size_t total_rounds() const noexcept { return engine_.round(); }
+  [[nodiscard]] std::size_t queries() const noexcept { return queries_; }
+  [[nodiscard]] const SyncEngine& engine() const noexcept { return engine_; }
+
+ private:
+  SessionQueryResult run_to_target();
+
+  SessionOptions options_;
+  std::vector<core::Values> current_;
+  SyncEngine engine_;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace pcf::sim

@@ -1,0 +1,62 @@
+// Distributed descriptive statistics on top of the reduction layer.
+//
+// All of count / sum / mean / variance come out of ONE vector-payload SUM
+// reduction (components [x, x², 1]); min and max come from an extrema-gossip
+// pass. Every node ends with its own complete summary — the building block
+// the paper's introduction motivates ("all commonly required functionality in
+// numerical linear algebra is based on the computation of sums and dot
+// products").
+#pragma once
+
+#include <vector>
+
+#include "core/reducer.hpp"
+#include "net/topology.hpp"
+#include "sim/reduce.hpp"
+
+namespace pcf::sim {
+
+struct SummaryOptions {
+  core::Algorithm algorithm = core::Algorithm::kPushCancelFlow;
+  std::uint64_t seed = 1;
+  double target_accuracy = 1e-12;
+  std::size_t max_rounds = 20000;
+  /// Rounds of extrema gossip; extrema propagate in O(diameter · log n)
+  /// gossip rounds, 0 = auto (derived from the topology).
+  std::size_t extrema_rounds = 0;
+  FaultPlan faults;
+};
+
+/// One node's view of the global sample statistics.
+struct NodeSummary {
+  double count = 0.0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct SummaryResult {
+  std::vector<NodeSummary> per_node;  ///< NaN-filled entries for crashed nodes
+  std::size_t reduction_rounds = 0;
+  bool reached_target = false;
+};
+
+/// Computes the full summary of `values` (one scalar per node) so that every
+/// node holds all six statistics.
+[[nodiscard]] SummaryResult distributed_summary(const net::Topology& topology,
+                                                std::span<const double> values,
+                                                const SummaryOptions& options);
+
+/// Min/max only, via extrema gossip. Returns each node's (min, max).
+[[nodiscard]] std::vector<std::pair<double, double>> distributed_extrema(
+    const net::Topology& topology, std::span<const double> values, const SummaryOptions& options);
+
+/// Network size estimation — the classic gossip trick: one designated node
+/// (node 0) injects value 1, everyone else 0, and the network averages; every
+/// node then knows n = 1 / average. Returns each node's estimate of n.
+[[nodiscard]] std::vector<double> estimate_network_size(const net::Topology& topology,
+                                                        const SummaryOptions& options);
+
+}  // namespace pcf::sim

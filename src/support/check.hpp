@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking.
+//
+// PCF_CHECK   — always-on validation of user-facing configuration and API
+//               contracts; throws pcf::ContractViolation with a formatted
+//               message so callers (tests, examples) can observe the failure.
+// PCF_ASSERT  — internal invariants; compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pcf {
+
+/// Thrown when a PCF_CHECK contract is violated (bad configuration,
+/// out-of-range argument, protocol misuse).
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_contract(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace pcf
+
+#define PCF_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::pcf::detail::raise_contract(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define PCF_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream pcf_check_os_;                                     \
+      pcf_check_os_ << msg;                                                 \
+      ::pcf::detail::raise_contract(#expr, __FILE__, __LINE__, pcf_check_os_.str()); \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define PCF_ASSERT(expr) ((void)0)
+#else
+#define PCF_ASSERT(expr) PCF_CHECK(expr)
+#endif

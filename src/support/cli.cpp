@@ -1,0 +1,125 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace pcf {
+namespace {
+
+std::string bool_text(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+void CliFlags::define(const std::string& name, std::int64_t default_value,
+                      const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, help, std::to_string(default_value)};
+}
+
+void CliFlags::define(const std::string& name, double default_value, const std::string& help) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", default_value);
+  flags_[name] = Flag{Kind::kDouble, help, buf};
+}
+
+void CliFlags::define(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  flags_[name] = Flag{Kind::kString, help, default_value};
+}
+
+void CliFlags::define(const std::string& name, bool default_value, const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, help, bool_text(default_value)};
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    PCF_CHECK_MSG(it != flags_.end(), "unknown flag --" << name);
+    Flag& flag = it->second;
+    if (!have_value) {
+      if (flag.kind == Kind::kBool) {
+        value = "true";
+      } else {
+        PCF_CHECK_MSG(i + 1 < argc, "flag --" << name << " expects a value");
+        value = argv[++i];
+      }
+    }
+    // Validate the textual value eagerly so errors point at the bad flag.
+    switch (flag.kind) {
+      case Kind::kInt: {
+        char* end = nullptr;
+        (void)std::strtoll(value.c_str(), &end, 10);
+        PCF_CHECK_MSG(end && *end == '\0' && !value.empty(),
+                      "flag --" << name << " expects an integer, got '" << value << "'");
+        break;
+      }
+      case Kind::kDouble: {
+        char* end = nullptr;
+        (void)std::strtod(value.c_str(), &end);
+        PCF_CHECK_MSG(end && *end == '\0' && !value.empty(),
+                      "flag --" << name << " expects a number, got '" << value << "'");
+        break;
+      }
+      case Kind::kBool:
+        PCF_CHECK_MSG(value == "true" || value == "false" || value == "1" || value == "0",
+                      "flag --" << name << " expects true/false, got '" << value << "'");
+        break;
+      case Kind::kString:
+        break;
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::lookup(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  PCF_CHECK_MSG(it != flags_.end(), "flag --" << name << " was never defined");
+  PCF_CHECK_MSG(it->second.kind == kind, "flag --" << name << " accessed with wrong type");
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return std::strtoll(lookup(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::strtod(lookup(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string& v = lookup(name, Kind::kBool).value;
+  return v == "true" || v == "1";
+}
+
+void CliFlags::print_help(const std::string& program) const {
+  std::printf("usage: %s [flags]\n\nflags:\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::printf("  --%-18s %s (default: %s)\n", name.c_str(), flag.help.c_str(),
+                flag.value.c_str());
+  }
+}
+
+}  // namespace pcf

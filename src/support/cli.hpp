@@ -1,0 +1,51 @@
+// Minimal command-line flag parser shared by the bench harnesses and example
+// programs. Supports `--name=value`, `--name value`, and boolean `--name`.
+// Unknown flags are an error so that typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcf {
+
+class CliFlags {
+ public:
+  /// Registers a flag with a default value and a help string. Must be called
+  /// before parse(). `kind` is inferred from the overload used.
+  void define(const std::string& name, std::int64_t default_value, const std::string& help);
+  void define(const std::string& name, double default_value, const std::string& help);
+  void define(const std::string& name, const std::string& default_value, const std::string& help);
+  void define(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses argv. On `--help`, prints usage and returns false (caller should
+  /// exit 0). Throws ContractViolation on unknown flags or malformed values.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments collected during parse().
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_help(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual representation
+  };
+
+  const Flag& lookup(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pcf

@@ -1,0 +1,27 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace pcf {
+
+double Rng::normal() noexcept {
+  // Marsaglia polar method; loop terminates with probability 1.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::exponential(double lambda) noexcept {
+  PCF_ASSERT(lambda > 0.0);
+  double u = uniform();
+  // uniform() can return exactly 0; log(0) would be -inf.
+  while (u == 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+}  // namespace pcf

@@ -1,0 +1,51 @@
+// Streaming and batch descriptive statistics used by the metrics layer and
+// the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace pcf {
+
+/// Welford streaming accumulator: mean / variance / min / max in one pass.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (parallel reduction of statistics).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Quantile q in [0,1] with linear interpolation; copies and sorts the input.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Convenience median (quantile 0.5).
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Maximum element; -inf for an empty span.
+[[nodiscard]] double max_value(std::span<const double> values) noexcept;
+
+/// Kahan-compensated sum — used wherever the harness needs a reference value
+/// that is more accurate than naive summation.
+[[nodiscard]] double kahan_sum(std::span<const double> values) noexcept;
+
+}  // namespace pcf

@@ -1,0 +1,95 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace pcf {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PCF_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PCF_CHECK_MSG(cells.size() <= headers_.size(), "row has more cells than headers");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, v);
+  return buf;
+}
+
+std::string Table::fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c ? "  " : "", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+void csv_cell(std::FILE* out, const std::string& cell) {
+  const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!quote) {
+    std::fputs(cell.c_str(), out);
+    return;
+  }
+  std::fputc('"', out);
+  for (char ch : cell) {
+    if (ch == '"') std::fputc('"', out);
+    std::fputc(ch, out);
+  }
+  std::fputc('"', out);
+}
+}  // namespace
+
+void Table::print_csv(std::FILE* out) const {
+  auto row_out = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) std::fputc(',', out);
+      csv_cell(out, row[c]);
+    }
+    std::fputc('\n', out);
+  };
+  row_out(headers_);
+  for (const auto& row : rows_) row_out(row);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not open %s for writing\n", path.c_str());
+    return false;
+  }
+  print_csv(f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace pcf

@@ -1,0 +1,42 @@
+// Aligned ASCII table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints (a) a human-readable table reproducing the rows /
+// series of the corresponding paper figure and (b), optionally, the same data
+// as CSV for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pcf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cells beyond the header count are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double in scientific notation suitable for error magnitudes.
+  [[nodiscard]] static std::string sci(double v, int digits = 3);
+  /// Formats a double with fixed decimals.
+  [[nodiscard]] static std::string fixed(double v, int digits = 3);
+  [[nodiscard]] static std::string num(std::int64_t v);
+
+  /// Writes the aligned table to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Writes RFC-4180-ish CSV to `out`.
+  void print_csv(std::FILE* out = stdout) const;
+
+  /// Writes CSV to a file path; returns false (and prints a warning) on I/O
+  /// failure rather than aborting a long benchmark run.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcf

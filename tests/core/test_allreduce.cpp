@@ -1,0 +1,68 @@
+#include "core/allreduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pcf::core {
+namespace {
+
+TEST(RecursiveDoubling, SumsPowerOfTwo) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const auto r = recursive_doubling_sum(v);
+  EXPECT_EQ(r.rounds, 2u);
+  for (double x : r.per_node) EXPECT_DOUBLE_EQ(x, 10.0);
+}
+
+TEST(RecursiveDoubling, AllNodesIdenticalResult) {
+  Rng rng(3);
+  std::vector<double> v(64);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  const auto r = recursive_doubling_sum(v);
+  EXPECT_EQ(r.rounds, 6u);
+  for (double x : r.per_node) EXPECT_EQ(x, r.per_node[0]);  // bit-identical
+}
+
+TEST(RecursiveDoubling, RejectsNonPowerOfTwo) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_THROW(recursive_doubling_sum(v), ContractViolation);
+}
+
+TEST(RecursiveDoubling, SingleNodeNoRounds) {
+  const std::vector<double> v{5.0};
+  const auto r = recursive_doubling_sum(v);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_DOUBLE_EQ(r.per_node[0], 5.0);
+}
+
+TEST(RecursiveDoubling, MessageCountIsNLogN) {
+  std::vector<double> v(16, 1.0);
+  const auto r = recursive_doubling_sum(v);
+  EXPECT_EQ(r.messages, 16u * 4u);
+}
+
+TEST(TreeSum, SumsArbitraryCount) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto r = tree_sum(v);
+  for (double x : r.per_node) EXPECT_DOUBLE_EQ(x, 15.0);
+}
+
+TEST(TreeSum, WorksForSingleElement) {
+  const std::vector<double> v{7.0};
+  const auto r = tree_sum(v);
+  EXPECT_DOUBLE_EQ(r.per_node[0], 7.0);
+}
+
+TEST(TreeSum, MatchesRecursiveDoublingOnPowersOfTwo) {
+  Rng rng(5);
+  std::vector<double> v(32);
+  for (auto& x : v) x = rng.uniform();
+  const auto a = tree_sum(v);
+  const auto b = recursive_doubling_sum(v);
+  // Same value up to FP reassociation.
+  EXPECT_NEAR(a.per_node[0], b.per_node[0], 1e-12);
+}
+
+}  // namespace
+}  // namespace pcf::core

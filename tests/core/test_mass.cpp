@@ -1,0 +1,103 @@
+#include "core/mass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcf::core {
+namespace {
+
+TEST(Mass, ZeroHasRequestedDimension) {
+  const auto m = Mass::zero(3);
+  EXPECT_EQ(m.dim(), 3u);
+  EXPECT_TRUE(m.is_zero());
+}
+
+TEST(Mass, ScalarConstruction) {
+  const auto m = Mass::scalar(4.0, 2.0);
+  EXPECT_EQ(m.dim(), 1u);
+  EXPECT_DOUBLE_EQ(m.s[0], 4.0);
+  EXPECT_DOUBLE_EQ(m.w, 2.0);
+  EXPECT_DOUBLE_EQ(m.estimate(), 2.0);
+}
+
+TEST(Mass, AdditionAndSubtraction) {
+  auto a = Mass::scalar(3.0, 1.0);
+  const auto b = Mass::scalar(1.0, 0.5);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.s[0], 4.0);
+  EXPECT_DOUBLE_EQ(a.w, 1.5);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.s[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.w, 1.0);
+}
+
+TEST(Mass, HalfIsExact) {
+  const auto m = Mass::scalar(3.0, 1.0);
+  const auto h = m.half();
+  EXPECT_DOUBLE_EQ(h.s[0], 1.5);
+  EXPECT_DOUBLE_EQ(h.w, 0.5);
+  // halving twice then adding four copies restores exactly (powers of two)
+  const auto q = h.half();
+  EXPECT_DOUBLE_EQ(q.s[0] * 4.0, 3.0);
+}
+
+TEST(Mass, NegationIsExactAndInvolutive) {
+  const auto m = Mass::scalar(0.1, 0.3);  // not representable exactly — even so
+  const auto n = m.negated();
+  EXPECT_TRUE(n.is_negation_of(m));
+  EXPECT_TRUE(m.is_negation_of(n));
+  EXPECT_EQ(n.negated(), m);
+}
+
+TEST(Mass, EqualityIsExact) {
+  const auto a = Mass::scalar(1.0, 1.0);
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b.s[0] = std::nextafter(1.0, 2.0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Mass, ZeroIsItsOwnNegation) {
+  const auto z = Mass::zero(2);
+  EXPECT_TRUE(z.is_negation_of(z));
+}
+
+TEST(Mass, EstimateGuardsZeroWeight) {
+  const auto m = Mass::scalar(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.estimate(), 0.0);
+}
+
+TEST(Mass, VectorPayloadEstimatePerComponent) {
+  const Mass m(Values{2.0, 4.0, 6.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m.estimate(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.estimate(1), 2.0);
+  EXPECT_DOUBLE_EQ(m.estimate(2), 3.0);
+}
+
+TEST(Mass, SetZeroClearsEverything) {
+  Mass m(Values{1.0, 2.0}, 3.0);
+  m.set_zero();
+  EXPECT_TRUE(m.is_zero());
+  EXPECT_EQ(m.dim(), 2u);  // dimension preserved
+}
+
+TEST(Mass, DimensionMismatchNotEqual) {
+  EXPECT_FALSE(Mass::zero(1) == Mass::zero(2));
+  EXPECT_FALSE(Mass::zero(1).is_negation_of(Mass::zero(2)));
+}
+
+TEST(Aggregate, InitialWeightConventions) {
+  EXPECT_EQ(initial_weight(Aggregate::kAverage, 0), 1.0);
+  EXPECT_EQ(initial_weight(Aggregate::kAverage, 5), 1.0);
+  EXPECT_EQ(initial_weight(Aggregate::kSum, 0), 1.0);
+  EXPECT_EQ(initial_weight(Aggregate::kSum, 5), 0.0);
+}
+
+TEST(Aggregate, Names) {
+  EXPECT_EQ(to_string(Aggregate::kSum), "SUM");
+  EXPECT_EQ(to_string(Aggregate::kAverage), "AVG");
+}
+
+}  // namespace
+}  // namespace pcf::core

@@ -1,0 +1,101 @@
+#include "core/stopping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace pcf::core {
+namespace {
+
+TEST(LocalStop, RequiresPatienceConsecutiveQuietRounds) {
+  LocalStop stop(1, 1e-6, 3);
+  EXPECT_FALSE(stop.observe(0, 1.0));  // first observation
+  EXPECT_FALSE(stop.observe(0, 1.0));  // quiet 1
+  EXPECT_FALSE(stop.observe(0, 1.0));  // quiet 2
+  EXPECT_TRUE(stop.observe(0, 1.0));   // quiet 3
+  EXPECT_TRUE(stop.all_converged());
+}
+
+TEST(LocalStop, ChangeResetsQuietCounter) {
+  LocalStop stop(1, 1e-6, 2);
+  stop.observe(0, 1.0);
+  stop.observe(0, 1.0);
+  EXPECT_FALSE(stop.observe(0, 2.0));  // big change
+  EXPECT_FALSE(stop.observe(0, 2.0));
+  EXPECT_TRUE(stop.observe(0, 2.0));
+}
+
+TEST(LocalStop, RelativeToleranceScalesWithMagnitude) {
+  LocalStop stop(1, 1e-3, 1);
+  stop.observe(0, 1e9);
+  EXPECT_TRUE(stop.observe(0, 1e9 + 1.0));  // relative change 1e-9 ≤ 1e-3
+}
+
+TEST(LocalStop, CountsPerNodeIndependently) {
+  LocalStop stop(2, 1e-6, 1);
+  stop.observe(0, 1.0);
+  stop.observe(1, 1.0);
+  EXPECT_TRUE(stop.observe(0, 1.0));
+  EXPECT_EQ(stop.converged_count(), 1u);
+  EXPECT_FALSE(stop.all_converged());
+  EXPECT_TRUE(stop.observe(1, 1.0));
+  EXPECT_TRUE(stop.all_converged());
+}
+
+TEST(LocalStop, ResetRestartsDetection) {
+  LocalStop stop(1, 1e-6, 1);
+  stop.observe(0, 1.0);
+  EXPECT_TRUE(stop.observe(0, 1.0));
+  stop.reset(0);
+  EXPECT_FALSE(stop.node_converged(0));
+  EXPECT_FALSE(stop.observe(0, 1.0));  // needs a fresh quiet streak
+  EXPECT_TRUE(stop.observe(0, 1.0));
+}
+
+TEST(LocalStop, RejectsBadConfiguration) {
+  EXPECT_THROW(LocalStop(0, 1e-6, 1), ContractViolation);
+  EXPECT_THROW(LocalStop(1, 0.0, 1), ContractViolation);
+  EXPECT_THROW(LocalStop(1, 1e-6, 0), ContractViolation);
+}
+
+TEST(LocalStop, NonFiniteEstimateNeverConverges) {
+  LocalStop stop(1, 1e-6, 1);
+  stop.observe(0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(stop.observe(0, std::numeric_limits<double>::quiet_NaN()));
+}
+
+TEST(FixedPointStop, FiresAfterWindowUnchangedRounds) {
+  FixedPointStop stop(2);
+  const std::vector<double> a{1.0, 2.0};
+  EXPECT_FALSE(stop.observe(a));  // baseline
+  EXPECT_FALSE(stop.observe(a));  // quiet 1
+  EXPECT_TRUE(stop.observe(a));   // quiet 2
+}
+
+TEST(FixedPointStop, AnyBitChangeResets) {
+  FixedPointStop stop(1);
+  std::vector<double> a{1.0};
+  EXPECT_FALSE(stop.observe(a));
+  a[0] = std::nextafter(1.0, 2.0);
+  EXPECT_FALSE(stop.observe(a));  // changed
+  EXPECT_TRUE(stop.observe(a));
+}
+
+TEST(FixedPointStop, NanStableComparison) {
+  FixedPointStop stop(1);
+  const std::vector<double> a{std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(stop.observe(a));
+  EXPECT_TRUE(stop.observe(a));  // NaN == NaN treated as unchanged
+}
+
+TEST(FixedPointStop, SizeChangeResetsBaseline) {
+  // A node crash shrinks the estimate vector; the detector must restart
+  // rather than compare across different node sets.
+  FixedPointStop stop(1);
+  EXPECT_FALSE(stop.observe(std::vector<double>{1.0}));
+  EXPECT_FALSE(stop.observe(std::vector<double>{1.0, 2.0}));  // new baseline
+  EXPECT_TRUE(stop.observe(std::vector<double>{1.0, 2.0}));   // quiet round 1
+}
+
+}  // namespace
+}  // namespace pcf::core

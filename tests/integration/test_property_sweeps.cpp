@@ -1,0 +1,172 @@
+// Property-based sweeps: the core invariants must hold for every algorithm ×
+// topology × aggregate × seed combination we ship.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/topology.hpp"
+#include "sim/engine_sync.hpp"
+#include "sim/reduce.hpp"
+#include "test_util.hpp"
+
+namespace pcf {
+namespace {
+
+using core::Aggregate;
+using core::Algorithm;
+
+struct SweepCase {
+  Algorithm algorithm;
+  std::string topology;
+  Aggregate aggregate;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name{core::to_string(info.param.algorithm)};
+  name += "_" + info.param.topology + "_" + std::string(core::to_string(info.param.aggregate)) +
+          "_s" + std::to_string(info.param.seed);
+  for (auto& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return name;
+}
+
+class ReductionSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  net::Topology topology() const {
+    Rng rng(1234);
+    return net::Topology::parse(GetParam().topology, rng);
+  }
+
+  sim::SyncEngine engine(sim::FaultPlan faults = {}) const {
+    return test::make_engine(topology(), GetParam().algorithm, GetParam().aggregate,
+                             GetParam().seed, std::move(faults));
+  }
+};
+
+std::vector<SweepCase> make_cases() {
+  std::vector<SweepCase> cases;
+  const std::vector<Algorithm> algorithms{Algorithm::kPushSum, Algorithm::kPushFlow,
+                                          Algorithm::kPushCancelFlow, Algorithm::kFlowUpdating};
+  const std::vector<std::string> topologies{"hypercube:4", "torus3d:2", "ring:12", "grid:3x5",
+                                            "er:20:0.2"};
+  const std::vector<Aggregate> aggregates{Aggregate::kAverage, Aggregate::kSum};
+  for (const auto alg : algorithms) {
+    for (const auto& topo : topologies) {
+      for (const auto agg : aggregates) {
+        for (const std::uint64_t seed : {11u, 29u}) {
+          cases.push_back({alg, topo, agg, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, ReductionSweep, ::testing::ValuesIn(make_cases()),
+                         case_name);
+
+TEST_P(ReductionSweep, ConvergesToTheTrueAggregate) {
+  auto e = engine();
+  const auto stats = e.run_until_error(1e-9, 6000);
+  EXPECT_TRUE(stats.reached_target) << "final error " << e.max_error();
+}
+
+TEST_P(ReductionSweep, MassIsConservedThroughoutTheRun) {
+  auto e = engine();
+  const auto initial = test::total_mass(e);
+  for (int chunk = 0; chunk < 5; ++chunk) {
+    e.run(40);
+    const auto current = test::total_mass(e);
+    const double scale = std::max(1.0, std::abs(initial.s[0]));
+    EXPECT_NEAR(current.s[0], initial.s[0], 1e-9 * scale) << "chunk " << chunk;
+    EXPECT_NEAR(current.w, initial.w, 1e-9) << "chunk " << chunk;
+  }
+}
+
+TEST_P(ReductionSweep, EstimatesStayFiniteForever) {
+  auto e = engine();
+  e.run(500);
+  for (double est : e.estimates()) EXPECT_TRUE(std::isfinite(est));
+}
+
+class FaultToleranceSweep : public ReductionSweep {};
+
+std::vector<SweepCase> make_fault_tolerant_cases() {
+  // Push-sum excluded: it is the non-fault-tolerant baseline.
+  std::vector<SweepCase> cases;
+  // Only 2-edge-connected topologies: a link failure or node crash must not
+  // partition the network (a partitioned gossip computation has no global
+  // aggregate to converge to).
+  for (const auto alg :
+       {Algorithm::kPushFlow, Algorithm::kPushCancelFlow, Algorithm::kFlowUpdating}) {
+    for (const auto& topo : {"hypercube:4", "ring:12", "torus2d:3x4"}) {
+      for (const std::uint64_t seed : {5u, 23u}) {
+        cases.push_back({alg, topo, Aggregate::kAverage, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowAlgorithms, FaultToleranceSweep,
+                         ::testing::ValuesIn(make_fault_tolerant_cases()), case_name);
+
+TEST_P(FaultToleranceSweep, ConvergesDespiteMessageLoss) {
+  sim::FaultPlan faults;
+  faults.message_loss_prob = 0.2;
+  auto e = engine(std::move(faults));
+  const auto stats = e.run_until_error(1e-9, 20000);
+  EXPECT_TRUE(stats.reached_target) << "final error " << e.max_error();
+}
+
+TEST_P(FaultToleranceSweep, ConvergesDespiteEarlyLinkFailure) {
+  // A failure EARLY in the run, while flows are still far from the aggregate
+  // ratio. Contract: the survivors always reach consensus, and the consensus
+  // is the true aggregate up to a small bias bounded by the mass the
+  // exclusion removed. (For PCF a failure can interrupt a cancellation
+  // handshake — a two-generals window — losing up to one flow's mass; the
+  // lost flow's value ratio approaches the aggregate as the run converges,
+  // which is why LATE failures cause no error at all; see the test below.)
+  const auto topo = topology();
+  sim::FaultPlan faults;
+  const auto edges = topo.edges();
+  faults.link_failures.push_back(
+      {20.0, edges[edges.size() / 2].first, edges[edges.size() / 2].second});
+  auto e = engine(std::move(faults));
+  e.run(20000);
+  const auto est = e.estimates();
+  double spread = 0.0;
+  for (double v : est) spread = std::max(spread, std::abs(v - est[0]));
+  EXPECT_LT(spread, 1e-9 * std::max(1.0, std::abs(est[0])));  // consensus reached
+  // Bias is bounded by the mass of one flow (≈ half a node's mass relative
+  // to the aggregate at failure time).
+  EXPECT_LT(e.max_error(), 0.15);
+}
+
+TEST_P(FaultToleranceSweep, ConvergesExactlyAfterLateLinkFailure) {
+  // A failure after the flows have converged: exclusion is ratio-preserving
+  // and the survivors must reach the ORIGINAL aggregate to full accuracy.
+  const auto topo = topology();
+  sim::FaultPlan faults;
+  const auto edges = topo.edges();
+  faults.link_failures.push_back(
+      {400.0, edges[edges.size() / 2].first, edges[edges.size() / 2].second});
+  auto e = engine(std::move(faults));
+  e.run(410);  // run through the failure first, then demand full accuracy
+  const auto stats = e.run_until_error(1e-9, 20000);
+  EXPECT_TRUE(stats.reached_target) << "final error " << e.max_error();
+}
+
+TEST_P(FaultToleranceSweep, ConvergesDespiteNodeCrash) {
+  const auto topo = topology();
+  sim::FaultPlan faults;
+  faults.node_crashes.push_back({25.0, static_cast<net::NodeId>(topo.size() / 2)});
+  auto e = engine(std::move(faults));
+  const auto stats = e.run_until_error(1e-9, 20000);
+  EXPECT_TRUE(stats.reached_target) << "final error " << e.max_error();
+}
+
+}  // namespace
+}  // namespace pcf

@@ -1,0 +1,143 @@
+#include "linalg/distributed_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen_ref.hpp"
+#include "support/check.hpp"
+
+namespace pcf::linalg {
+namespace {
+
+/// Direct dense solve by Gaussian elimination (test oracle).
+std::vector<double> dense_solve(const Matrix& a_in, std::span<const double> b_in) {
+  const std::size_t n = a_in.rows();
+  Matrix a = a_in;
+  std::vector<double> b(b_in.begin(), b_in.end());
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    PCF_CHECK_MSG(std::fabs(a(pivot, col)) > 1e-14, "singular test system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a(r, c) * x[c];
+    x[r] = acc / a(r, r);
+  }
+  return x;
+}
+
+/// Regularized Laplacian system (L + I)x = b — strictly diagonally dominant.
+NetworkMatrix regularized_laplacian(const net::Topology& topology) {
+  Matrix dense = laplacian_matrix(topology);
+  for (std::size_t i = 0; i < topology.size(); ++i) dense(i, i) += 1.0;
+  return NetworkMatrix(topology, dense);
+}
+
+TEST(DistributedSolver, MatchesDenseSolveOnRing) {
+  const auto topology = net::Topology::ring(10);
+  const auto m = regularized_laplacian(topology);
+  Rng rng(3);
+  std::vector<double> b(10);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  DistributedSolveOptions options;
+  options.tolerance = 1e-10;
+  const auto result = distributed_jacobi_solve(m, b, options);
+  EXPECT_TRUE(result.converged);
+  const auto expected = dense_solve(m.dense(), b);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(result.x[i], expected[i], 1e-9) << i;
+}
+
+TEST(DistributedSolver, MatchesDenseSolveOnHypercube) {
+  const auto topology = net::Topology::hypercube(4);
+  const auto m = regularized_laplacian(topology);
+  Rng rng(7);
+  std::vector<double> b(topology.size());
+  for (auto& v : b) v = rng.uniform(-2.0, 2.0);
+  DistributedSolveOptions options;
+  options.tolerance = 1e-11;
+  const auto result = distributed_jacobi_solve(m, b, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.residual_norm, 1e-11);
+  const auto expected = dense_solve(m.dense(), b);
+  for (std::size_t i = 0; i < topology.size(); ++i) {
+    EXPECT_NEAR(result.x[i], expected[i], 1e-9) << i;
+  }
+}
+
+TEST(DistributedSolver, SurvivesFaultsInsideResidualChecks) {
+  const auto topology = net::Topology::hypercube(3);
+  const auto m = regularized_laplacian(topology);
+  Rng rng(11);
+  std::vector<double> b(topology.size());
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  DistributedSolveOptions options;
+  options.tolerance = 1e-9;
+  options.faults.message_loss_prob = 0.15;
+  options.faults.link_failures.push_back({40.0, 0, 1});
+  const auto result = distributed_jacobi_solve(m, b, options);
+  EXPECT_TRUE(result.converged);
+  const auto expected = dense_solve(m.dense(), b);
+  for (std::size_t i = 0; i < topology.size(); ++i) {
+    EXPECT_NEAR(result.x[i], expected[i], 1e-7) << i;
+  }
+}
+
+TEST(DistributedSolver, ReportsNonConvergenceOnNonContractiveSystem) {
+  // Plain Laplacian is singular (constant nullspace): Jacobi cannot converge
+  // for a general right-hand side.
+  const auto topology = net::Topology::ring(6);
+  const auto dense = laplacian_matrix(topology);
+  // Shift the diagonal just enough to be nonzero but NOT dominant.
+  Matrix weak = dense;
+  for (std::size_t i = 0; i < 6; ++i) weak(i, i) = 0.5;  // |offdiag row sum| = 2 > 0.5
+  const NetworkMatrix m(topology, weak);
+  std::vector<double> b(6, 1.0);
+  DistributedSolveOptions options;
+  options.max_iterations = 400;
+  const auto result = distributed_jacobi_solve(m, b, options);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(DistributedSolver, RejectsZeroDiagonal) {
+  const auto topology = net::Topology::ring(4);
+  const auto m = NetworkMatrix::adjacency(topology);  // zero diagonal
+  const std::vector<double> b(4, 1.0);
+  EXPECT_THROW(distributed_jacobi_solve(m, b, {}), ContractViolation);
+}
+
+TEST(DistributedSolver, RejectsWrongRhsSize) {
+  const auto topology = net::Topology::ring(4);
+  const auto m = regularized_laplacian(topology);
+  const std::vector<double> b(3, 1.0);
+  EXPECT_THROW(distributed_jacobi_solve(m, b, {}), ContractViolation);
+}
+
+TEST(DistributedSolver, CheckIntervalTradesReductionsForIterations) {
+  const auto topology = net::Topology::ring(8);
+  const auto m = regularized_laplacian(topology);
+  const std::vector<double> b(8, 1.0);
+  DistributedSolveOptions frequent;
+  frequent.check_interval = 1;
+  DistributedSolveOptions rare;
+  rare.check_interval = 32;
+  const auto a = distributed_jacobi_solve(m, b, frequent);
+  const auto c = distributed_jacobi_solve(m, b, rare);
+  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(c.converged);
+  EXPECT_GT(a.residual_checks, c.residual_checks);
+}
+
+}  // namespace
+}  // namespace pcf::linalg

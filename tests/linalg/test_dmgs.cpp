@@ -1,0 +1,144 @@
+#include "linalg/dmgs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "support/check.hpp"
+
+namespace pcf::linalg {
+namespace {
+
+using core::Algorithm;
+
+Matrix test_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::random_uniform(rows, cols, rng);
+}
+
+TEST(Dmgs, PcfFactorizationIsAccurate) {
+  const auto t = net::Topology::hypercube(4);
+  const auto v = test_matrix(t.size(), 8, 1);
+  DmgsOptions opt;
+  opt.seed = 1;
+  const auto res = dmgs(t, v, opt);
+  EXPECT_LT(res.factorization_error(v), 1e-12);
+  EXPECT_LT(res.orthogonality_error(), 1e-12);
+  EXPECT_LT(res.self_consistency_error(v, t), 1e-14);
+}
+
+TEST(Dmgs, MatchesSequentialMgsClosely) {
+  const auto t = net::Topology::hypercube(3);
+  const auto v = test_matrix(t.size(), 4, 2);
+  DmgsOptions opt;
+  opt.seed = 2;
+  const auto res = dmgs(t, v, opt);
+  const auto ref = mgs_qr(v);
+  // With (near-)exact reductions, dmGS *is* MGS: Q and node-0 R agree with
+  // the sequential factorization to reduction accuracy.
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    for (std::size_t j = 0; j < v.cols(); ++j) {
+      EXPECT_NEAR(res.q(i, j), ref.q(i, j), 1e-10) << i << "," << j;
+    }
+  }
+  for (std::size_t i = 0; i < v.cols(); ++i) {
+    for (std::size_t j = i; j < v.cols(); ++j) {
+      EXPECT_NEAR(res.r[0](i, j), ref.r(i, j), 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(Dmgs, RIsUpperTriangularOnEveryNode) {
+  const auto t = net::Topology::hypercube(3);
+  const auto v = test_matrix(t.size(), 5, 3);
+  DmgsOptions opt;
+  const auto res = dmgs(t, v, opt);
+  for (const auto& r : res.r) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(r(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Dmgs, MultipleRowsPerNode) {
+  // n = 4·N rows distributed round-robin.
+  const auto t = net::Topology::hypercube(3);
+  const auto v = test_matrix(4 * t.size(), 6, 4);
+  DmgsOptions opt;
+  const auto res = dmgs(t, v, opt);
+  EXPECT_LT(res.factorization_error(v), 1e-12);
+  EXPECT_LT(res.orthogonality_error(), 1e-12);
+}
+
+TEST(Dmgs, WideColumnCountUsesChunkedReductions) {
+  // m−1 = 19 dots in step 0 exceed kMaxDim=16 ⇒ chunking path.
+  const auto t = net::Topology::hypercube(3);
+  const auto v = test_matrix(4 * t.size(), 20, 5);
+  DmgsOptions opt;
+  const auto res = dmgs(t, v, opt);
+  EXPECT_LT(res.factorization_error(v), 1e-11);
+}
+
+TEST(Dmgs, PushFlowLessAccurateThanPcf) {
+  // The Fig. 8 comparison at one size: with the same iteration cap, dmGS(PF)
+  // leaves (weakly) larger disagreement between node R's than dmGS(PCF).
+  const auto t = net::Topology::hypercube(5);
+  const auto v = test_matrix(t.size(), 16, 6);
+  DmgsOptions pf_opt, pcf_opt;
+  pf_opt.algorithm = Algorithm::kPushFlow;
+  pf_opt.seed = pcf_opt.seed = 7;
+  pf_opt.max_rounds_per_reduction = pcf_opt.max_rounds_per_reduction = 1200;
+  const auto pf = dmgs(t, v, pf_opt);
+  const auto pcf = dmgs(t, v, pcf_opt);
+  EXPECT_LT(pcf.factorization_error(v), pf.factorization_error(v));
+  EXPECT_LT(pcf.orthogonality_error(), pf.orthogonality_error());
+}
+
+TEST(Dmgs, ReductionCountIsTwoPerColumnMinusOne) {
+  const auto t = net::Topology::hypercube(3);
+  const auto v = test_matrix(t.size(), 6, 8);
+  DmgsOptions opt;
+  const auto res = dmgs(t, v, opt);
+  // 6 norms + 5 batched dot reductions (m−j−1 ≤ 16 each)
+  EXPECT_EQ(res.reductions, 11u);
+}
+
+TEST(Dmgs, SurvivesMessageLossInsideReductions) {
+  const auto t = net::Topology::hypercube(3);
+  const auto v = test_matrix(t.size(), 4, 9);
+  DmgsOptions opt;
+  opt.faults.message_loss_prob = 0.15;
+  opt.max_rounds_per_reduction = 4000;
+  const auto res = dmgs(t, v, opt);
+  EXPECT_LT(res.factorization_error(v), 1e-11);
+}
+
+TEST(Dmgs, SurvivesLinkFailureInsideEveryReduction) {
+  const auto t = net::Topology::hypercube(4);
+  const auto v = test_matrix(t.size(), 4, 10);
+  DmgsOptions opt;
+  opt.faults.link_failures.push_back({25.0, 0, 1});
+  opt.max_rounds_per_reduction = 4000;
+  const auto res = dmgs(t, v, opt);
+  EXPECT_LT(res.factorization_error(v), 1e-11);
+}
+
+TEST(Dmgs, RejectsFewerRowsThanNodes) {
+  const auto t = net::Topology::hypercube(3);
+  const auto v = test_matrix(4, 2, 11);
+  EXPECT_THROW(dmgs(t, v, {}), ContractViolation);
+}
+
+TEST(Dmgs, DeterministicGivenSeed) {
+  const auto t = net::Topology::hypercube(3);
+  const auto v = test_matrix(t.size(), 4, 12);
+  DmgsOptions opt;
+  opt.seed = 5;
+  const auto a = dmgs(t, v, opt);
+  const auto b = dmgs(t, v, opt);
+  for (std::size_t i = 0; i < v.rows(); ++i) {
+    for (std::size_t j = 0; j < v.cols(); ++j) EXPECT_EQ(a.q(i, j), b.q(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace pcf::linalg

@@ -1,0 +1,101 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace pcf::linalg {
+namespace {
+
+class QrBothAlgorithms : public ::testing::TestWithParam<bool> {
+ protected:
+  QrResult factorize(const Matrix& v) const {
+    return GetParam() ? householder_qr(v) : mgs_qr(v);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, QrBothAlgorithms, ::testing::Values(false, true),
+                         [](const auto& info) { return info.param ? "householder" : "mgs"; });
+
+TEST_P(QrBothAlgorithms, ReconstructsSquareMatrix) {
+  Rng rng(1);
+  const auto v = Matrix::random_uniform(8, 8, rng);
+  const auto qr = factorize(v);
+  EXPECT_LT(factorization_error(v, qr.q, qr.r), 1e-14);
+}
+
+TEST_P(QrBothAlgorithms, ReconstructsTallMatrix) {
+  Rng rng(2);
+  const auto v = Matrix::random_uniform(40, 8, rng);
+  const auto qr = factorize(v);
+  EXPECT_LT(factorization_error(v, qr.q, qr.r), 1e-14);
+  EXPECT_EQ(qr.q.rows(), 40u);
+  EXPECT_EQ(qr.q.cols(), 8u);
+  EXPECT_EQ(qr.r.rows(), 8u);
+}
+
+TEST_P(QrBothAlgorithms, QHasOrthonormalColumns) {
+  Rng rng(3);
+  const auto v = Matrix::random_uniform(30, 10, rng);
+  const auto qr = factorize(v);
+  EXPECT_LT(orthogonality_error(qr.q), 1e-13);
+}
+
+TEST_P(QrBothAlgorithms, RIsUpperTriangular) {
+  Rng rng(4);
+  const auto v = Matrix::random_uniform(12, 6, rng);
+  const auto qr = factorize(v);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(qr.r(i, j), 0.0) << i << "," << j;
+  }
+}
+
+TEST_P(QrBothAlgorithms, RejectsWideMatrix) {
+  const Matrix v(3, 5);
+  EXPECT_THROW(factorize(v), ContractViolation);
+}
+
+TEST(MgsQr, DiagonalOfRIsPositive) {
+  Rng rng(5);
+  const auto v = Matrix::random_uniform(10, 4, rng);
+  const auto qr = mgs_qr(v);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_GT(qr.r(j, j), 0.0);
+}
+
+TEST(MgsQr, RejectsRankDeficientColumn) {
+  Matrix v(4, 2);  // second column all zeros after elimination of nothing
+  v(0, 0) = 1.0;
+  EXPECT_THROW(mgs_qr(v), ContractViolation);
+}
+
+TEST(MgsQr, MatchesHouseholderUpToSigns) {
+  Rng rng(6);
+  const auto v = Matrix::random_uniform(20, 5, rng);
+  const auto a = mgs_qr(v);
+  const auto b = householder_qr(v);
+  // R factors agree up to column signs; with positive diagonals convention in
+  // MGS, compare absolute values.
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i; j < 5; ++j) {
+      EXPECT_NEAR(std::abs(a.r(i, j)), std::abs(b.r(i, j)), 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(MgsQr, IllConditionedMatrixStillReconstructs) {
+  // Nearly collinear columns: MGS loses orthogonality (that is expected) but
+  // the factorization V = QR must still hold to machine precision.
+  Rng rng(7);
+  Matrix v(20, 3);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double base = rng.uniform(-1.0, 1.0);
+    v(i, 0) = base;
+    v(i, 1) = base + 1e-9 * rng.uniform(-1.0, 1.0);
+    v(i, 2) = rng.uniform(-1.0, 1.0);
+  }
+  const auto qr = mgs_qr(v);
+  EXPECT_LT(factorization_error(v, qr.q, qr.r), 1e-13);
+}
+
+}  // namespace
+}  // namespace pcf::linalg

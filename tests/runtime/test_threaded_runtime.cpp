@@ -1,0 +1,136 @@
+#include "runtime/threaded_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/metrics.hpp"
+#include "sim/reduce.hpp"
+#include "test_util.hpp"
+
+namespace pcf::runtime {
+namespace {
+
+using core::Aggregate;
+using core::Algorithm;
+
+std::vector<core::Mass> random_masses(std::size_t n, Aggregate agg, std::uint64_t seed) {
+  return sim::masses_from_values(test::random_values(n, seed), agg);
+}
+
+TEST(ThreadedRuntime, PcfConvergesWithRealThreads) {
+  const auto t = net::Topology::hypercube(4);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 1);
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  cfg.seed = 1;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.run(600);
+  const sim::Oracle oracle(masses);
+  for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-11);
+}
+
+TEST(ThreadedRuntime, PushFlowConvergesWithRealThreads) {
+  const auto t = net::Topology::hypercube(4);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 2);
+  RuntimeConfig cfg;
+  cfg.algorithm = Algorithm::kPushFlow;
+  cfg.num_threads = 3;  // uneven shard sizes
+  cfg.seed = 2;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.run(600);
+  const sim::Oracle oracle(masses);
+  for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-10);
+}
+
+TEST(ThreadedRuntime, MassConservedAtQuiescence) {
+  // run() drains all in-flight packets before returning, so pairwise flow
+  // conservation holds and the total mass must equal the initial mass.
+  const auto t = net::Topology::ring(12);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 3);
+  double expected_s = 0.0;
+  for (const auto& m : masses) expected_s += m.s[0];
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.run(200);
+  const auto total = rt.total_mass();
+  EXPECT_NEAR(total.s[0], expected_s, 1e-9);
+  EXPECT_NEAR(total.w, static_cast<double>(t.size()), 1e-10);
+}
+
+TEST(ThreadedRuntime, MultiplePhasesAccumulate) {
+  const auto t = net::Topology::hypercube(3);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 4);
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.run(50);
+  const auto delivered_first = rt.messages_delivered();
+  EXPECT_GT(delivered_first, 0u);
+  rt.run(50);
+  EXPECT_GT(rt.messages_delivered(), delivered_first);
+}
+
+TEST(ThreadedRuntime, LinkFailureBetweenPhasesIsTolerated) {
+  const auto t = net::Topology::hypercube(4);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 5);
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.run(300);
+  rt.fail_link(0, 1);
+  rt.run(600);
+  const sim::Oracle oracle(masses);
+  for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-11);
+}
+
+TEST(ThreadedRuntime, FailLinkRejectsNonEdge) {
+  const auto t = net::Topology::ring(6);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 6);
+  ThreadedRuntime rt(t, masses, {});
+  EXPECT_THROW(rt.fail_link(0, 3), ContractViolation);
+}
+
+TEST(ThreadedRuntime, SingleThreadDegenerateCaseWorks) {
+  const auto t = net::Topology::bus(5);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 7);
+  RuntimeConfig cfg;
+  cfg.num_threads = 1;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.run(2000);
+  const sim::Oracle oracle(masses);
+  for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-10);
+}
+
+TEST(ThreadedRuntime, MoreThreadsThanNodesIsClamped) {
+  const auto t = net::Topology::bus(3);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 8);
+  RuntimeConfig cfg;
+  cfg.num_threads = 64;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.run(800);
+  const sim::Oracle oracle(masses);
+  for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-9);
+}
+
+TEST(Mailbox, PreservesFifoOrder) {
+  Mailbox box;
+  for (int i = 0; i < 10; ++i) {
+    Envelope env;
+    env.from = static_cast<net::NodeId>(i);
+    box.push(std::move(env));
+  }
+  const auto drained = box.drain();
+  ASSERT_EQ(drained.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(drained[static_cast<std::size_t>(i)].from, i);
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, DrainOnEmptyIsEmpty) {
+  Mailbox box;
+  EXPECT_TRUE(box.drain().empty());
+}
+
+}  // namespace
+}  // namespace pcf::runtime

@@ -1,0 +1,123 @@
+// Dynamic data updates (LiMoSense-style live monitoring): inputs change
+// mid-computation and the reduction must track the moving aggregate.
+#include <gtest/gtest.h>
+
+#include "sim/engine_async.hpp"
+#include "sim/engine_sync.hpp"
+#include "sim/reduce.hpp"
+#include "test_util.hpp"
+
+namespace pcf::sim {
+namespace {
+
+using core::Aggregate;
+using core::Algorithm;
+using core::Mass;
+
+class DataUpdateSweep : public ::testing::TestWithParam<Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DataUpdateSweep,
+                         ::testing::Values(Algorithm::kPushSum, Algorithm::kPushFlow,
+                                           Algorithm::kPushCancelFlow,
+                                           Algorithm::kFlowUpdating),
+                         [](const auto& param_info) {
+                           std::string name{core::to_string(param_info.param)};
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(DataUpdateSweep, TracksAMovingAggregate) {
+  const auto t = net::Topology::hypercube(4);
+  FaultPlan plan;
+  plan.data_updates.push_back({100.0, 3, Mass::scalar(5.0, 0.0)});
+  plan.data_updates.push_back({100.0, 9, Mass::scalar(-2.0, 0.0)});
+  plan.data_updates.push_back({220.0, 0, Mass::scalar(1.0, 0.0)});
+  auto engine = test::make_engine(t, GetParam(), Aggregate::kAverage, 5, plan);
+  const double target_before = engine.oracle().target();
+  engine.run(99);
+  EXPECT_LT(engine.max_error(), 1e-4);  // roughly converged before the update
+  engine.run(2);  // updates at t=100 fire
+  const double target_mid = engine.oracle().target();
+  EXPECT_NEAR(target_mid, target_before + 3.0 / 16.0, 1e-12);
+  engine.run(600);
+  const double target_after = engine.oracle().target();
+  EXPECT_NEAR(target_after, target_before + 4.0 / 16.0, 1e-12);
+  EXPECT_LT(engine.max_error(), 1e-10);
+}
+
+TEST_P(DataUpdateSweep, UpdateDoesNotBreakMassConservation) {
+  if (GetParam() == Algorithm::kPushSum) GTEST_SKIP() << "no separate input state";
+  const auto t = net::Topology::ring(8);
+  FaultPlan plan;
+  plan.data_updates.push_back({30.0, 2, Mass::scalar(7.0, 0.0)});
+  auto engine = test::make_engine(t, GetParam(), Aggregate::kAverage, 11, plan);
+  engine.run(25);
+  const auto before = test::total_mass(engine);
+  engine.run(100);
+  const auto after = test::total_mass(engine);
+  EXPECT_NEAR(after.s[0], before.s[0] + 7.0, 1e-9);
+  EXPECT_NEAR(after.w, before.w, 1e-10);
+}
+
+TEST(DataUpdates, SumAggregateTracksUpdates) {
+  const auto t = net::Topology::hypercube(4);
+  FaultPlan plan;
+  plan.data_updates.push_back({80.0, 5, Mass::scalar(10.0, 0.0)});
+  auto engine =
+      test::make_engine(t, Algorithm::kPushCancelFlow, Aggregate::kSum, 3, plan);
+  const double before = engine.oracle().target();
+  engine.run(600);
+  EXPECT_NEAR(engine.oracle().target(), before + 10.0, 1e-10);
+  EXPECT_LT(engine.max_error(), 1e-11);
+}
+
+TEST(DataUpdates, ContinuousDriftIsTracked) {
+  // A value drifts every 50 rounds; the estimates follow each step.
+  const auto t = net::Topology::hypercube(4);
+  FaultPlan plan;
+  for (int k = 1; k <= 6; ++k) {
+    plan.data_updates.push_back({50.0 * k, static_cast<net::NodeId>(k), Mass::scalar(0.5, 0.0)});
+  }
+  auto engine = test::make_engine(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 13, plan);
+  engine.run(800);
+  EXPECT_LT(engine.max_error(), 1e-11);
+}
+
+TEST(DataUpdates, AsyncEngineTracksUpdates) {
+  const auto t = net::Topology::hypercube(4);
+  const auto values = test::random_values(t.size(), 17);
+  auto masses = masses_from_values(values, Aggregate::kAverage);
+  AsyncEngineConfig cfg;
+  cfg.algorithm = Algorithm::kPushCancelFlow;
+  cfg.seed = 17;
+  cfg.faults.data_updates.push_back({50.0, 4, Mass::scalar(3.0, 0.0)});
+  AsyncEngine engine(t, masses, cfg);
+  const double before = engine.oracle().target();
+  engine.run_until(60.0);
+  EXPECT_GT(engine.oracle().target(), before);  // retargeted upward
+  EXPECT_TRUE(engine.run_until_error(1e-10, 1500.0));
+}
+
+TEST(DataUpdates, UpdateOnCrashedNodeIsIgnored) {
+  const auto t = net::Topology::hypercube(3);
+  FaultPlan plan;
+  plan.node_crashes.push_back({20.0, 2});
+  plan.data_updates.push_back({60.0, 2, Mass::scalar(100.0, 0.0)});
+  auto engine = test::make_engine(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 19, plan);
+  engine.run(600);
+  // The dead node's update must not shift the target.
+  EXPECT_LT(engine.max_error(), 1e-11);
+}
+
+TEST(DataUpdates, RejectsOutOfRangeNode) {
+  const auto t = net::Topology::ring(4);
+  const std::vector<core::Mass> masses(4, Mass::scalar(1.0, 1.0));
+  SyncEngineConfig cfg;
+  cfg.faults.data_updates.push_back({1.0, 9, Mass::scalar(1.0, 0.0)});
+  EXPECT_THROW(SyncEngine(t, masses, cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcf::sim

@@ -1,0 +1,145 @@
+#include "sim/engine_async.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/reduce.hpp"
+#include "test_util.hpp"
+
+namespace pcf::sim {
+namespace {
+
+using core::Aggregate;
+using core::Algorithm;
+
+AsyncEngine make_async(const net::Topology& t, Algorithm alg, Aggregate agg,
+                       std::uint64_t seed = 1, FaultPlan faults = {}) {
+  const auto values = test::random_values(t.size(), seed ^ 0xabcdef);
+  auto masses = masses_from_values(values, agg);
+  AsyncEngineConfig cfg;
+  cfg.algorithm = alg;
+  cfg.faults = std::move(faults);
+  cfg.seed = seed;
+  return AsyncEngine(t, masses, cfg);
+}
+
+TEST(AsyncEngine, PushSumConvergesWithoutSynchrony) {
+  const auto t = net::Topology::hypercube(4);
+  auto engine = make_async(t, Algorithm::kPushSum, Aggregate::kAverage, 3);
+  EXPECT_TRUE(engine.run_until_error(1e-10, 500.0));
+}
+
+TEST(AsyncEngine, PushFlowConvergesWithoutSynchrony) {
+  const auto t = net::Topology::hypercube(4);
+  auto engine = make_async(t, Algorithm::kPushFlow, Aggregate::kAverage, 3);
+  EXPECT_TRUE(engine.run_until_error(1e-10, 500.0));
+}
+
+TEST(AsyncEngine, PcfConvergesWithoutSynchrony) {
+  const auto t = net::Topology::hypercube(4);
+  auto engine = make_async(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 3);
+  EXPECT_TRUE(engine.run_until_error(1e-12, 800.0));
+}
+
+TEST(AsyncEngine, PcfSurvivesMessageLossAsync) {
+  const auto t = net::Topology::hypercube(4);
+  FaultPlan faults;
+  faults.message_loss_prob = 0.25;
+  auto engine = make_async(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 5, faults);
+  EXPECT_TRUE(engine.run_until_error(1e-11, 2500.0));
+}
+
+TEST(AsyncEngine, PcfEarlyLinkFailureGivesConsensusWithBoundedBias) {
+  // A cable cut with traffic in flight destroys the in-transit mass — for an
+  // EARLY failure (estimates far from converged) this leaves a small bias
+  // relative to the original aggregate; the survivors still reach consensus.
+  const auto t = net::Topology::hypercube(4);
+  FaultPlan faults;
+  faults.link_failures.push_back({30.0, 0, 1});
+  auto engine = make_async(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 7, faults);
+  engine.run_until(2000.0);
+  const auto est = engine.estimates();
+  double spread = 0.0;
+  for (double v : est) spread = std::max(spread, std::abs(v - est[0]));
+  EXPECT_LT(spread, 1e-10);
+  EXPECT_LT(engine.max_error(), 0.1);
+}
+
+TEST(AsyncEngine, PcfLateLinkFailureKeepsFullAccuracy) {
+  // After convergence every flow's value ratio equals the aggregate, so the
+  // mass destroyed by the cut is ratio-aligned: estimates are unaffected.
+  const auto t = net::Topology::hypercube(4);
+  FaultPlan faults;
+  faults.link_failures.push_back({400.0, 0, 1});
+  auto engine = make_async(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 7, faults);
+  engine.run_until(410.0);
+  EXPECT_TRUE(engine.run_until_error(1e-11, 2500.0));
+}
+
+TEST(AsyncEngine, NodeCrashRetargetsOracleApproximately) {
+  // The async network always has packets in flight, so a crash loses some
+  // in-transit mass and the oracle retarget is a snapshot approximation (see
+  // the note on AsyncEngine). Contract: survivors reach consensus, and the
+  // consensus is within the in-flight mass bound of the retargeted oracle.
+  const auto t = net::Topology::hypercube(3);
+  FaultPlan faults;
+  faults.node_crashes.push_back({20.0, 2});
+  auto engine = make_async(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 7, faults);
+  const double before = engine.oracle().target();
+  engine.run_until(25.0);
+  EXPECT_FALSE(engine.node_alive(2));
+  EXPECT_NE(engine.oracle().target(), before);
+  engine.run_until(2000.0);
+  const auto est = engine.estimates();
+  double spread = 0.0;
+  for (double v : est) spread = std::max(spread, std::abs(v - est[0]));
+  EXPECT_LT(spread, 1e-10);           // consensus
+  EXPECT_LT(engine.max_error(), 0.05);  // bounded bias vs the snapshot target
+}
+
+TEST(AsyncEngine, DeterministicGivenSeed) {
+  const auto t = net::Topology::ring(8);
+  auto a = make_async(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 17);
+  auto b = make_async(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 17);
+  a.run_until(50.0);
+  b.run_until(50.0);
+  EXPECT_EQ(a.estimates(), b.estimates());
+  EXPECT_EQ(a.messages_delivered(), b.messages_delivered());
+}
+
+TEST(AsyncEngine, TimeAdvancesMonotonically) {
+  const auto t = net::Topology::ring(4);
+  auto engine = make_async(t, Algorithm::kPushSum, Aggregate::kAverage, 1);
+  engine.run_until(5.0);
+  EXPECT_GE(engine.now(), 5.0);
+  engine.run_until(10.0);
+  EXPECT_GE(engine.now(), 10.0);
+  // run_until into the past is a no-op, not a rewind
+  engine.run_until(3.0);
+  EXPECT_GE(engine.now(), 10.0);
+}
+
+TEST(AsyncEngine, MessageRateMatchesTickRate) {
+  const auto t = net::Topology::complete(8);
+  const auto values = test::random_values(8, 3);
+  auto masses = masses_from_values(values, Aggregate::kAverage);
+  AsyncEngineConfig cfg;
+  cfg.algorithm = Algorithm::kPushSum;
+  cfg.seed = 3;
+  cfg.tick_rate = 2.0;
+  AsyncEngine engine(t, masses, cfg);
+  engine.run_until(200.0);
+  // 8 nodes × rate 2 × 200 time units ≈ 3200 messages (Poisson, ±10%).
+  EXPECT_NEAR(static_cast<double>(engine.messages_delivered()), 3200.0, 320.0);
+}
+
+TEST(AsyncEngine, RejectsBadLatencyRange) {
+  const auto t = net::Topology::ring(4);
+  const std::vector<core::Mass> masses(4, core::Mass::scalar(1.0, 1.0));
+  AsyncEngineConfig cfg;
+  cfg.latency_min = 0.5;
+  cfg.latency_max = 0.1;
+  EXPECT_THROW(AsyncEngine(t, masses, cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcf::sim

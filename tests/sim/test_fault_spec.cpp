@@ -1,0 +1,61 @@
+#include "sim/fault_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace pcf::sim {
+namespace {
+
+TEST(FaultSpec, EmptyStringsGiveEmptyPlan) {
+  const auto plan = parse_fault_spec("", "", "");
+  EXPECT_TRUE(plan.link_failures.empty());
+  EXPECT_TRUE(plan.node_crashes.empty());
+  EXPECT_TRUE(plan.data_updates.empty());
+}
+
+TEST(FaultSpec, ParsesSingleLinkFailure) {
+  const auto plan = parse_fault_spec("75:0:1", "", "");
+  ASSERT_EQ(plan.link_failures.size(), 1u);
+  EXPECT_EQ(plan.link_failures[0].time, 75.0);
+  EXPECT_EQ(plan.link_failures[0].a, 0u);
+  EXPECT_EQ(plan.link_failures[0].b, 1u);
+}
+
+TEST(FaultSpec, ParsesMultipleLinkFailures) {
+  const auto plan = parse_fault_spec("75:0:1,120.5:2:3", "", "");
+  ASSERT_EQ(plan.link_failures.size(), 2u);
+  EXPECT_EQ(plan.link_failures[1].time, 120.5);
+  EXPECT_EQ(plan.link_failures[1].a, 2u);
+}
+
+TEST(FaultSpec, ParsesCrashes) {
+  const auto plan = parse_fault_spec("", "100:5,200:7", "");
+  ASSERT_EQ(plan.node_crashes.size(), 2u);
+  EXPECT_EQ(plan.node_crashes[0].node, 5u);
+  EXPECT_EQ(plan.node_crashes[1].time, 200.0);
+}
+
+TEST(FaultSpec, ParsesDataUpdatesWithSignedDeltas) {
+  const auto plan = parse_fault_spec("", "", "50:3:2.5,80:0:-1");
+  ASSERT_EQ(plan.data_updates.size(), 2u);
+  EXPECT_EQ(plan.data_updates[0].delta.s[0], 2.5);
+  EXPECT_EQ(plan.data_updates[0].delta.w, 0.0);
+  EXPECT_EQ(plan.data_updates[1].delta.s[0], -1.0);
+  EXPECT_EQ(plan.data_updates[1].node, 0u);
+}
+
+TEST(FaultSpec, RejectsWrongFieldCounts) {
+  EXPECT_THROW(parse_fault_spec("75:0", "", ""), ContractViolation);
+  EXPECT_THROW(parse_fault_spec("", "100", ""), ContractViolation);
+  EXPECT_THROW(parse_fault_spec("", "", "50:3"), ContractViolation);
+}
+
+TEST(FaultSpec, RejectsMalformedNumbers) {
+  EXPECT_THROW(parse_fault_spec("abc:0:1", "", ""), ContractViolation);
+  EXPECT_THROW(parse_fault_spec("75:x:1", "", ""), ContractViolation);
+  EXPECT_THROW(parse_fault_spec("", "", "50:3:zz"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcf::sim

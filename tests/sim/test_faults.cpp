@@ -1,0 +1,95 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcf::sim {
+namespace {
+
+core::Packet sample_packet() {
+  core::Packet p;
+  p.a = core::Mass(core::Values{1.0, 2.0}, 3.0);
+  p.b = core::Mass(core::Values{4.0, 5.0}, 6.0);
+  return p;
+}
+
+TEST(FlipRandomBit, ChangesExactlyOneDouble) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto original = sample_packet();
+    auto flipped = sample_packet();
+    flip_random_bit(flipped, rng, /*any_bit=*/false);
+    int diffs = 0;
+    for (std::size_t k = 0; k < 2; ++k) {
+      if (flipped.a.s[k] != original.a.s[k]) ++diffs;
+      if (flipped.b.s[k] != original.b.s[k]) ++diffs;
+    }
+    if (flipped.a.w != original.a.w) ++diffs;
+    if (flipped.b.w != original.b.w) ++diffs;
+    EXPECT_EQ(diffs, 1) << "trial " << trial;
+  }
+}
+
+TEST(FlipRandomBit, MantissaSignOnlyStaysFinite) {
+  Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto p = sample_packet();
+    flip_random_bit(p, rng, /*any_bit=*/false);
+    for (double v : p.a.s) EXPECT_TRUE(std::isfinite(v));
+    for (double v : p.b.s) EXPECT_TRUE(std::isfinite(v));
+    EXPECT_TRUE(std::isfinite(p.a.w));
+    EXPECT_TRUE(std::isfinite(p.b.w));
+  }
+}
+
+TEST(FlipRandomBit, SignFlipsDoOccur) {
+  Rng rng(3);
+  bool saw_sign_flip = false;
+  for (int trial = 0; trial < 2000 && !saw_sign_flip; ++trial) {
+    auto p = sample_packet();
+    flip_random_bit(p, rng, /*any_bit=*/false);
+    saw_sign_flip = p.a.s[0] == -1.0 || p.a.s[1] == -2.0 || p.a.w == -3.0 ||
+                    p.b.s[0] == -4.0 || p.b.s[1] == -5.0 || p.b.w == -6.0;
+  }
+  EXPECT_TRUE(saw_sign_flip);
+}
+
+TEST(FlipRandomBit, AnyBitCanProduceHugeValues) {
+  Rng rng(4);
+  double worst = 0.0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto p = sample_packet();
+    flip_random_bit(p, rng, /*any_bit=*/true);
+    for (double v : p.a.s) {
+      if (std::isfinite(v)) worst = std::max(worst, std::fabs(v));
+    }
+  }
+  EXPECT_GT(worst, 1e30);  // exponent-bit flips reached
+}
+
+TEST(FlipRandomBit, IsDeterministicGivenRngState) {
+  Rng a(7), b(7);
+  auto pa = sample_packet();
+  auto pb = sample_packet();
+  flip_random_bit(pa, a, false);
+  flip_random_bit(pb, b, false);
+  EXPECT_EQ(pa.a, pb.a);
+  EXPECT_EQ(pa.b, pb.b);
+}
+
+TEST(FaultPlan, EmptyDetection) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.message_loss_prob = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan = {};
+  plan.link_failures.push_back({1.0, 0, 1});
+  EXPECT_FALSE(plan.empty());
+  plan = {};
+  plan.node_crashes.push_back({1.0, 0});
+  EXPECT_FALSE(plan.empty());
+}
+
+}  // namespace
+}  // namespace pcf::sim

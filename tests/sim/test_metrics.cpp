@@ -1,0 +1,127 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pcf::sim {
+namespace {
+
+using core::Mass;
+using core::Values;
+
+TEST(Oracle, ComputesAverageTarget) {
+  const std::vector<Mass> masses{Mass::scalar(1.0, 1.0), Mass::scalar(3.0, 1.0)};
+  const Oracle oracle(masses);
+  EXPECT_DOUBLE_EQ(oracle.target(), 2.0);
+}
+
+TEST(Oracle, ComputesSumTarget) {
+  const std::vector<Mass> masses{Mass::scalar(1.0, 1.0), Mass::scalar(3.0, 0.0)};
+  const Oracle oracle(masses);
+  EXPECT_DOUBLE_EQ(oracle.target(), 4.0);
+}
+
+TEST(Oracle, PerComponentTargets) {
+  const std::vector<Mass> masses{Mass(Values{1.0, 10.0}, 1.0), Mass(Values{3.0, 30.0}, 1.0)};
+  const Oracle oracle(masses);
+  EXPECT_EQ(oracle.dim(), 2u);
+  EXPECT_DOUBLE_EQ(oracle.target(0), 2.0);
+  EXPECT_DOUBLE_EQ(oracle.target(1), 20.0);
+}
+
+TEST(Oracle, ErrorOfRelativeAndAbsolute) {
+  const std::vector<Mass> masses{Mass::scalar(4.0, 1.0), Mass::scalar(4.0, 1.0)};
+  const Oracle oracle(masses);  // target 4
+  EXPECT_DOUBLE_EQ(oracle.error_of(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.error_of(5.0), 0.25);
+  EXPECT_DOUBLE_EQ(oracle.error_of(3.0), 0.25);
+}
+
+TEST(Oracle, ZeroTargetFallsBackToAbsoluteError) {
+  const std::vector<Mass> masses{Mass::scalar(-1.0, 1.0), Mass::scalar(1.0, 1.0)};
+  const Oracle oracle(masses);  // target 0
+  EXPECT_DOUBLE_EQ(oracle.error_of(0.5), 0.5);
+}
+
+TEST(Oracle, NonFiniteEstimateIsInfiniteError) {
+  const std::vector<Mass> masses{Mass::scalar(1.0, 1.0)};
+  const Oracle oracle(masses);
+  EXPECT_TRUE(std::isinf(oracle.error_of(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isinf(oracle.error_of(std::numeric_limits<double>::infinity())));
+}
+
+TEST(Oracle, RetargetRecomputes) {
+  std::vector<Mass> masses{Mass::scalar(1.0, 1.0), Mass::scalar(3.0, 1.0)};
+  Oracle oracle(masses);
+  EXPECT_DOUBLE_EQ(oracle.target(), 2.0);
+  masses.pop_back();
+  oracle.retarget(masses);
+  EXPECT_DOUBLE_EQ(oracle.target(), 1.0);
+}
+
+TEST(Oracle, RejectsZeroTotalWeight) {
+  const std::vector<Mass> masses{Mass::scalar(1.0, 0.0)};
+  EXPECT_THROW(Oracle{masses}, ContractViolation);
+}
+
+TEST(Oracle, RejectsInconsistentDimensions) {
+  const std::vector<Mass> masses{Mass::zero(1), Mass::zero(2)};
+  EXPECT_THROW(Oracle{masses}, ContractViolation);
+}
+
+TEST(Oracle, UsesCompensatedSummation) {
+  // 1e16 and many 1.0s: a naive oracle would lose the small weights entirely.
+  std::vector<Mass> masses{Mass::scalar(1e16, 1.0)};
+  for (int i = 0; i < 1000; ++i) masses.push_back(Mass::scalar(1.0, 1.0));
+  const Oracle oracle(masses);
+  EXPECT_DOUBLE_EQ(oracle.target(), (1e16 + 1000.0) / 1001.0);
+}
+
+TEST(Oracle, ShiftAdjustsTargetExactly) {
+  const std::vector<Mass> masses{Mass::scalar(1.0, 1.0), Mass::scalar(3.0, 1.0)};
+  Oracle oracle(masses);
+  oracle.shift(Mass::scalar(4.0, 0.0));  // value-only update
+  EXPECT_DOUBLE_EQ(oracle.target(), 4.0);  // (1+3+4)/2
+  oracle.shift(Mass::scalar(0.0, 2.0));  // weight joins (e.g. nodes added)
+  EXPECT_DOUBLE_EQ(oracle.target(), 2.0);  // 8/4
+}
+
+TEST(Oracle, ShiftRejectsDimensionMismatch) {
+  const std::vector<Mass> masses{Mass::scalar(1.0, 1.0)};
+  Oracle oracle(masses);
+  EXPECT_THROW(oracle.shift(Mass::zero(2)), ContractViolation);
+}
+
+TEST(Oracle, ShiftToZeroWeightRejected) {
+  const std::vector<Mass> masses{Mass::scalar(1.0, 1.0)};
+  Oracle oracle(masses);
+  EXPECT_THROW(oracle.shift(Mass::scalar(0.0, -1.0)), ContractViolation);
+}
+
+TEST(Trace, RecordsPointsInOrder) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.add({1.0, 0.5, 0.25, 0.3, 2.0});
+  trace.add({2.0, 0.4, 0.2, 0.25, 1.5});
+  ASSERT_EQ(trace.points().size(), 2u);
+  EXPECT_EQ(trace.points()[0].time, 1.0);
+  EXPECT_EQ(trace.points()[1].max_error, 0.4);
+}
+
+TEST(Trace, TableHasOneRowPerPoint) {
+  Trace trace;
+  trace.add({1.0, 0.5, 0.25, 0.3, 2.0});
+  trace.add({2.0, 0.4, 0.2, 0.25, 1.5});
+  testing::internal::CaptureStdout();
+  trace.to_table().print();
+  const std::string out = testing::internal::GetCapturedStdout();
+  // header + separator + 2 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace pcf::sim

@@ -1,0 +1,157 @@
+#include "sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace pcf::sim {
+namespace {
+
+using core::Values;
+
+std::vector<Values> scalar_inputs(std::span<const double> values) {
+  std::vector<Values> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(Values{v});
+  return out;
+}
+
+TEST(ReductionSession, FirstQueryMatchesColdReduction) {
+  const auto t = net::Topology::hypercube(4);
+  const auto values = test::random_values(t.size(), 3);
+  SessionOptions options;
+  options.seed = 3;
+  options.target_accuracy = 1e-11;
+  ReductionSession session(t, scalar_inputs(values), options);
+  const auto reply = session.query(scalar_inputs(values));
+  EXPECT_TRUE(reply.reached_target);
+  double expected = 0.0;
+  for (double v : values) expected += v;
+  for (net::NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(reply.estimate(i), expected, 1e-9 * std::abs(expected));
+  }
+}
+
+TEST(ReductionSession, WarmQueriesAreMuchCheaperThanCold) {
+  // Monitoring scenario: inputs drift by ~0.01% between queries. Rounds
+  // scale with the decades of error to close: the cold start descends from
+  // O(1) to 1e-10, a warm query only from the drift size (1e-4) — so warm
+  // queries cost roughly (4+6)/10 → the ratio tracks
+  // log(drift)/log(target).
+  const auto t = net::Topology::hypercube(5);
+  auto values = test::random_values(t.size(), 7);
+  for (auto& v : values) v += 1.0;  // keep magnitudes comparable
+  SessionOptions options;
+  options.seed = 7;
+  options.target_accuracy = 1e-10;
+  ReductionSession session(t, scalar_inputs(values), options);
+  const auto cold = session.query(scalar_inputs(values));
+  ASSERT_TRUE(cold.reached_target);
+
+  Rng drift(99);
+  std::size_t warm_total = 0;
+  for (int q = 0; q < 10; ++q) {
+    for (auto& v : values) v *= 1.0 + drift.uniform(-1e-4, 1e-4);
+    const auto reply = session.query(scalar_inputs(values));
+    ASSERT_TRUE(reply.reached_target) << "query " << q;
+    warm_total += reply.rounds;
+    double expected = 0.0;
+    for (double v : values) expected += v;
+    EXPECT_NEAR(reply.estimate(0), expected, 1e-8 * expected);
+  }
+  const double mean_warm = static_cast<double>(warm_total) / 10.0;
+  EXPECT_LT(mean_warm, 0.6 * static_cast<double>(cold.rounds))
+      << "cold " << cold.rounds << " mean warm " << mean_warm;
+}
+
+TEST(ReductionSession, UnchangedQueryIsNearlyFree) {
+  const auto t = net::Topology::hypercube(4);
+  const auto values = test::random_values(t.size(), 9);
+  SessionOptions options;
+  options.seed = 9;
+  options.target_accuracy = 1e-10;
+  ReductionSession session(t, scalar_inputs(values), options);
+  const auto cold = session.query(scalar_inputs(values));
+  const auto again = session.query(scalar_inputs(values));
+  EXPECT_TRUE(again.reached_target);
+  EXPECT_LE(again.rounds, 2u);  // already at target; one probe round
+  EXPECT_GT(cold.rounds, 20u);
+}
+
+TEST(ReductionSession, SurvivesLinkFailureBetweenQueries) {
+  const auto t = net::Topology::hypercube(4);
+  auto values = test::random_values(t.size(), 11);
+  for (auto& v : values) v += 1.0;
+  SessionOptions options;
+  options.seed = 11;
+  options.target_accuracy = 1e-10;
+  ReductionSession session(t, scalar_inputs(values), options);
+  ASSERT_TRUE(session.query(scalar_inputs(values)).reached_target);
+  session.fail_link(0, 1);
+  values[3] += 0.25;
+  const auto reply = session.query(scalar_inputs(values));
+  EXPECT_TRUE(reply.reached_target);
+  double expected = 0.0;
+  for (double v : values) expected += v;
+  EXPECT_NEAR(reply.estimate(0), expected, 1e-8 * expected);
+}
+
+TEST(ReductionSession, SurvivesContinuousMessageLoss) {
+  const auto t = net::Topology::hypercube(4);
+  auto values = test::random_values(t.size(), 13);
+  for (auto& v : values) v += 1.0;
+  SessionOptions options;
+  options.seed = 13;
+  options.target_accuracy = 1e-9;
+  options.faults.message_loss_prob = 0.15;
+  ReductionSession session(t, scalar_inputs(values), options);
+  for (int q = 0; q < 4; ++q) {
+    values[q] += 0.5;
+    const auto reply = session.query(scalar_inputs(values));
+    EXPECT_TRUE(reply.reached_target) << q;
+  }
+}
+
+TEST(ReductionSession, VectorPayloadQueries) {
+  const auto t = net::Topology::ring(6);
+  std::vector<Values> inputs(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    inputs[i] = Values{static_cast<double>(i), 1.0};
+  }
+  SessionOptions options;
+  options.target_accuracy = 1e-10;
+  options.aggregate = core::Aggregate::kSum;
+  ReductionSession session(t, inputs, options);
+  auto reply = session.query(inputs);
+  EXPECT_NEAR(reply.estimate(0, 0), 15.0, 1e-8);
+  EXPECT_NEAR(reply.estimate(0, 1), 6.0, 1e-8);
+  inputs[2][0] += 10.0;
+  reply = session.query(inputs);
+  EXPECT_NEAR(reply.estimate(0, 0), 25.0, 1e-8);
+}
+
+TEST(ReductionSession, RejectsDimensionChanges) {
+  const auto t = net::Topology::ring(4);
+  std::vector<Values> inputs(4, Values{1.0});
+  ReductionSession session(t, inputs, {});
+  std::vector<Values> wrong(4, Values{1.0, 2.0});
+  EXPECT_THROW(session.query(wrong), ContractViolation);
+}
+
+TEST(ReductionSession, AverageAggregateSessions) {
+  const auto t = net::Topology::hypercube(3);
+  auto values = test::random_values(t.size(), 17);
+  SessionOptions options;
+  options.aggregate = core::Aggregate::kAverage;
+  options.target_accuracy = 1e-11;
+  ReductionSession session(t, scalar_inputs(values), options);
+  values[5] += 2.0;
+  const auto reply = session.query(scalar_inputs(values));
+  double expected = 0.0;
+  for (double v : values) expected += v;
+  expected /= 8.0;
+  EXPECT_NEAR(reply.estimate(4), expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace pcf::sim

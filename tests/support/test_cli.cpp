@@ -1,0 +1,108 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace pcf {
+namespace {
+
+CliFlags standard_flags() {
+  CliFlags flags;
+  flags.define("count", std::int64_t{10}, "a count");
+  flags.define("ratio", 0.5, "a ratio");
+  flags.define("name", std::string("abc"), "a name");
+  flags.define("verbose", false, "a switch");
+  return flags;
+}
+
+bool parse(CliFlags& flags, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliFlags, DefaultsSurviveEmptyParse) {
+  auto flags = standard_flags();
+  EXPECT_TRUE(parse(flags, {}));
+  EXPECT_EQ(flags.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.5);
+  EXPECT_EQ(flags.get_string("name"), "abc");
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, EqualsSyntax) {
+  auto flags = standard_flags();
+  EXPECT_TRUE(parse(flags, {"--count=42", "--ratio=0.25", "--name=xyz"}));
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.25);
+  EXPECT_EQ(flags.get_string("name"), "xyz");
+}
+
+TEST(CliFlags, SpaceSeparatedSyntax) {
+  auto flags = standard_flags();
+  EXPECT_TRUE(parse(flags, {"--count", "7"}));
+  EXPECT_EQ(flags.get_int("count"), 7);
+}
+
+TEST(CliFlags, BareBooleanSetsTrue) {
+  auto flags = standard_flags();
+  EXPECT_TRUE(parse(flags, {"--verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, BooleanExplicitFalse) {
+  auto flags = standard_flags();
+  EXPECT_TRUE(parse(flags, {"--verbose=false"}));
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, UnknownFlagThrows) {
+  auto flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--nope=1"}), ContractViolation);
+}
+
+TEST(CliFlags, MalformedIntThrows) {
+  auto flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--count=abc"}), ContractViolation);
+}
+
+TEST(CliFlags, MalformedDoubleThrows) {
+  auto flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--ratio=1.2.3"}), ContractViolation);
+}
+
+TEST(CliFlags, MissingValueThrows) {
+  auto flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--count"}), ContractViolation);
+}
+
+TEST(CliFlags, HelpReturnsFalse) {
+  auto flags = standard_flags();
+  EXPECT_FALSE(parse(flags, {"--help"}));
+}
+
+TEST(CliFlags, PositionalArgumentsCollected) {
+  auto flags = standard_flags();
+  EXPECT_TRUE(parse(flags, {"pos1", "--count=2", "pos2"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+  EXPECT_EQ(flags.positional()[1], "pos2");
+}
+
+TEST(CliFlags, WrongTypeAccessThrows) {
+  auto flags = standard_flags();
+  EXPECT_TRUE(parse(flags, {}));
+  EXPECT_THROW(flags.get_int("ratio"), ContractViolation);
+  EXPECT_THROW(flags.get_double("nonexistent"), ContractViolation);
+}
+
+TEST(CliFlags, NegativeNumbersAccepted) {
+  auto flags = standard_flags();
+  EXPECT_TRUE(parse(flags, {"--count=-3", "--ratio=-0.5"}));
+  EXPECT_EQ(flags.get_int("count"), -3);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), -0.5);
+}
+
+}  // namespace
+}  // namespace pcf

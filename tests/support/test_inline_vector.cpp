@@ -1,0 +1,85 @@
+#include "support/inline_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pcf {
+namespace {
+
+using Vec = InlineVector<double, 4>;
+
+TEST(InlineVector, DefaultIsEmpty) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(Vec::capacity(), 4u);
+}
+
+TEST(InlineVector, SizeConstructorFills) {
+  Vec v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  for (double x : v) EXPECT_EQ(x, 1.5);
+}
+
+TEST(InlineVector, InitializerList) {
+  Vec v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(InlineVector, PushBackAndOverflow) {
+  Vec v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_THROW(v.push_back(9.0), ContractViolation);
+}
+
+TEST(InlineVector, ResizeGrowsWithFillAndShrinks) {
+  Vec v{1.0};
+  v.resize(3, 7.0);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 7.0);
+  EXPECT_EQ(v[2], 7.0);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1.0);
+}
+
+TEST(InlineVector, ResizeBeyondCapacityThrows) {
+  Vec v;
+  EXPECT_THROW(v.resize(5), ContractViolation);
+}
+
+TEST(InlineVector, EqualityComparesSizeAndContent) {
+  Vec a{1.0, 2.0};
+  Vec b{1.0, 2.0};
+  Vec c{1.0, 2.0, 3.0};
+  Vec d{1.0, 9.0};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(InlineVector, IterationAndAccumulate) {
+  Vec v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(std::accumulate(v.begin(), v.end(), 0.0), 10.0);
+}
+
+TEST(InlineVector, SpanConstructorAndAsSpan) {
+  const double raw[] = {5.0, 6.0};
+  Vec v{std::span<const double>(raw)};
+  auto s = v.as_span();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], 6.0);
+}
+
+TEST(InlineVector, ClearResets) {
+  Vec v{1.0, 2.0};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace pcf

@@ -1,0 +1,158 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace pcf {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversFullRangeWithoutBias) {
+  Rng rng(3);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[rng.below(7)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 / 5);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  const Rng base(99);
+  Rng a = base.fork(0);
+  Rng b = base.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  const Rng base(99);
+  Rng a = base.fork(5);
+  Rng b = base.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ChanceZeroNeverFires) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(rng.chance(0.0));
+}
+
+TEST(Rng, ChanceOneAlwaysFires) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, NormalHasUnitVarianceAndZeroMean) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialHasExpectedMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(std::span<int>(w));
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(std::span<int>(w));
+  EXPECT_NE(v, w);
+}
+
+TEST(Rng, PickReturnsElementFromSpan) {
+  Rng rng(31);
+  const std::vector<int> v{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(std::span<const int>(v)));
+  EXPECT_EQ(seen, (std::set<int>{10, 20, 30}));
+}
+
+TEST(Rng, SplitmixIsReproducible) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace pcf

@@ -1,0 +1,114 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pcf {
+namespace {
+
+TEST(RunningStats, EmptyIsSane) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  const std::vector<double> values{1.5, -2.0, 3.25, 8.0, 0.0, -1.0, 4.5};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    all.add(values[i]);
+    (i < 3 ? a : b).add(values[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(Quantile, MedianOfOddCount) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.0);
+}
+
+TEST(Quantile, MedianOfEvenCountInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 7.0);
+}
+
+TEST(Quantile, RejectsEmptyAndBadOrder) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(quantile({}, 0.5), ContractViolation);
+  EXPECT_THROW(quantile(v, 1.5), ContractViolation);
+}
+
+TEST(MaxValue, EmptyIsMinusInfinity) {
+  EXPECT_EQ(max_value({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MaxValue, FindsMaximum) {
+  const std::vector<double> v{-5.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(max_value(v), 2.0);
+}
+
+TEST(KahanSum, ExactForSmallInputs) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(kahan_sum(v), 6.0);
+}
+
+TEST(KahanSum, BeatsNaiveSummation) {
+  // Many tiny values next to a huge one: naive summation loses them all.
+  std::vector<double> v{1e16};
+  for (int i = 0; i < 10000; ++i) v.push_back(1.0);
+  const double kahan = kahan_sum(v);
+  EXPECT_DOUBLE_EQ(kahan, 1e16 + 10000.0);
+}
+
+}  // namespace
+}  // namespace pcf

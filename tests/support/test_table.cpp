@@ -1,0 +1,76 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/check.hpp"
+
+namespace pcf {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) { EXPECT_THROW(Table({}), ContractViolation); }
+
+TEST(Table, RejectsOversizedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), ContractViolation);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b"});
+  t.add_row({"1"});
+  testing::internal::CaptureStdout();
+  t.print_csv();
+  EXPECT_EQ(testing::internal::GetCapturedStdout(), "a,b\n1,\n");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("name    v"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"a"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  testing::internal::CaptureStdout();
+  t.print_csv();
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, SciAndFixedFormatting) {
+  EXPECT_EQ(Table::sci(0.000123, 2), "1.23e-04");
+  EXPECT_EQ(Table::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(42), "42");
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const auto path = std::filesystem::temp_directory_path() / "pcf_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path.string()));
+  std::FILE* f = std::fopen(path.string().c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const auto read = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  std::filesystem::remove(path);
+  EXPECT_EQ(std::string(buf, read), "a,b\n1,2\n");
+}
+
+TEST(Table, WriteCsvToBadPathReturnsFalse) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir_zzz/file.csv"));
+}
+
+}  // namespace
+}  // namespace pcf
