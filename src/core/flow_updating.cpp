@@ -108,6 +108,13 @@ bool FlowUpdating::corrupt_stored_flow(Rng& rng) {
   return true;
 }
 
+std::size_t FlowUpdating::flows_toward(NodeId j, std::span<Mass> out) const {
+  const auto slot = neighbors_.slot_of(j);
+  if (!slot || !neighbors_.alive_at(*slot) || out.empty()) return 0;
+  out[0] = flows_[*slot];
+  return 1;
+}
+
 double FlowUpdating::max_abs_flow_component() const noexcept {
   double best = 0.0;
   for (std::size_t slot = 0; slot < flows_.size(); ++slot) {

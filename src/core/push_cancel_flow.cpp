@@ -258,6 +258,14 @@ double PushCancelFlow::max_abs_flow_component() const noexcept {
   return best;
 }
 
+std::size_t PushCancelFlow::flows_toward(NodeId j, std::span<Mass> out) const {
+  const auto slot = neighbors_.slot_of(j);
+  if (!slot || !neighbors_.alive_at(*slot) || out.size() < 2) return 0;
+  out[0] = edges_[*slot].flow[0];
+  out[1] = edges_[*slot].flow[1];
+  return 2;
+}
+
 PushCancelFlow::EdgeView PushCancelFlow::edge_state(NodeId j) const {
   const auto slot = neighbors_.slot_of(j);
   PCF_CHECK_MSG(slot.has_value(), "edge_state: node " << j << " is not a neighbor");

@@ -87,6 +87,7 @@ class PushCancelFlow final : public Reducer {
   [[nodiscard]] std::uint64_t role_swaps() const noexcept override { return role_swaps_; }
   [[nodiscard]] std::size_t wire_masses() const noexcept override { return 2; }
   bool corrupt_stored_flow(Rng& rng) override;
+  [[nodiscard]] std::size_t flows_toward(NodeId j, std::span<Mass> out) const override;
 
   /// Test hooks.
   struct EdgeView {

@@ -112,6 +112,13 @@ double PushFlow::max_abs_flow_component() const noexcept {
   return best;
 }
 
+std::size_t PushFlow::flows_toward(NodeId j, std::span<Mass> out) const {
+  const auto slot = neighbors_.slot_of(j);
+  if (!slot || !neighbors_.alive_at(*slot) || out.empty()) return 0;
+  out[0] = flows_[*slot];
+  return 1;
+}
+
 const Mass& PushFlow::flow_to(NodeId j) const {
   const auto slot = neighbors_.slot_of(j);
   PCF_CHECK_MSG(slot.has_value(), "flow_to: node " << j << " is not a neighbor");

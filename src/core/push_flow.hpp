@@ -42,6 +42,7 @@ class PushFlow final : public Reducer {
   }
   [[nodiscard]] double max_abs_flow_component() const noexcept override;
   bool corrupt_stored_flow(Rng& rng) override;
+  [[nodiscard]] std::size_t flows_toward(NodeId j, std::span<Mass> out) const override;
 
   /// Test hook: the flow variable toward neighbor j (throws if not a neighbor).
   [[nodiscard]] const Mass& flow_to(NodeId j) const;

@@ -136,6 +136,21 @@ class Reducer {
   /// Used by the engines' bandwidth accounting.
   [[nodiscard]] virtual std::size_t wire_masses() const noexcept { return 1; }
 
+  /// Upper bound on the flow slots any algorithm stores per edge (PCF: 2).
+  static constexpr std::size_t kMaxFlowSlots = 2;
+
+  /// Introspection for the invariant checkers: copies this node's stored flow
+  /// state toward neighbor `j` into `out` (slot-indexed; both endpoints of an
+  /// edge use the same slot order, so slot s here pairs with slot s on the
+  /// peer). Returns the number of slots written — 0 when the algorithm stores
+  /// no flow toward j (push-sum) or j is not a live neighbor. `out` must hold
+  /// at least kMaxFlowSlots elements.
+  [[nodiscard]] virtual std::size_t flows_toward(NodeId j, std::span<Mass> out) const {
+    (void)j;
+    (void)out;
+    return 0;
+  }
+
   /// Fault-injection hook: flips one random mantissa/sign bit in one randomly
   /// chosen STORED flow variable — a memory soft error, as opposed to the
   /// in-transit corruption the engines inject into packets. Returns false if

@@ -12,6 +12,40 @@ std::pair<NodeId, NodeId> norm_edge(NodeId a, NodeId b) {
 }
 }  // namespace
 
+/// Read-only adapter the invariant checkers observe the engine through.
+struct AsyncEngine::View final : SystemView {
+  explicit View(const AsyncEngine& e) : engine(e) {}
+  [[nodiscard]] const net::Topology& topology() const override { return engine.topology_; }
+  [[nodiscard]] core::Algorithm algorithm() const override { return engine.config_.algorithm; }
+  [[nodiscard]] double time() const override { return engine.now_; }
+  [[nodiscard]] bool alive(NodeId i) const override { return engine.alive_.at(i); }
+  [[nodiscard]] const core::Reducer& node(NodeId i) const override { return *engine.nodes_.at(i); }
+  [[nodiscard]] bool link_dead(NodeId a, NodeId b) const override {
+    return engine.dead_links_.count(norm_edge(a, b)) != 0;
+  }
+  [[nodiscard]] const Oracle& oracle() const override { return engine.oracle_; }
+  [[nodiscard]] FaultExposure faults() const override {
+    const FaultPlan& plan = engine.config_.faults;
+    FaultExposure f;
+    f.in_flight = true;  // an asynchronous network always has packets in transit
+    f.lossy_env = plan.message_loss_prob > 0.0 || plan.bit_flip_prob > 0.0 ||
+                  plan.state_flip_prob > 0.0;
+    f.any_bit_flips = plan.bit_flip_any_bit && plan.bit_flip_prob > 0.0;
+    f.crash_settling = engine.pending_retarget_;
+    f.link_failures = engine.link_failures_fired_;
+    f.crashes = engine.crashes_fired_;
+    f.data_updates = engine.data_updates_fired_;
+    return f;
+  }
+  const AsyncEngine& engine;
+};
+
+void AsyncEngine::check_invariants_now() {
+  if (!monitor_) return;
+  const View view(*this);
+  monitor_->check(view);
+}
+
 AsyncEngine::AsyncEngine(net::Topology topology, std::span<const core::Mass> initial,
                          AsyncEngineConfig config)
     : topology_(topology),
@@ -46,6 +80,11 @@ AsyncEngine::AsyncEngine(net::Topology topology, std::span<const core::Mass> ini
     e.packet.a = u.delta;  // carry the delta in the payload slot
     push(std::move(e));
   }
+
+  if (config_.invariants.resolve_enabled()) {
+    monitor_ = std::make_unique<InvariantMonitor>(config_.invariants);
+    monitor_->install_default_checkers();
+  }
 }
 
 void AsyncEngine::push(Event e) {
@@ -63,6 +102,7 @@ void AsyncEngine::fail_link(NodeId a, NodeId b) {
   const double due = now_ + config_.faults.detection_delay;
   push({due, Event::Kind::kDetect, a, b, 0, {}});
   push({due, Event::Kind::kDetect, b, a, 0, {}});
+  pending_detects_ += 2;
 }
 
 void AsyncEngine::handle(const Event& e) {
@@ -102,11 +142,13 @@ void AsyncEngine::handle(const Event& e) {
       return;
     }
     case Event::Kind::kLinkFailure:
+      ++link_failures_fired_;
       fail_link(e.a, e.b);
       return;
     case Event::Kind::kCrash: {
       if (!alive_[e.a]) return;
       alive_[e.a] = false;
+      ++crashes_fired_;
       for (const NodeId peer : topology_.neighbors(e.a)) fail_link(e.a, peer);
       pending_retarget_ = true;
       return;
@@ -117,9 +159,11 @@ void AsyncEngine::handle(const Event& e) {
       // A live update changes the conserved mass by exactly delta — no
       // snapshot needed, so this is exact even with packets in flight.
       oracle_.shift(e.packet.a);
+      ++data_updates_fired_;
       return;
     }
     case Event::Kind::kDetect: {
+      --pending_detects_;
       if (alive_[e.a]) nodes_[e.a]->on_link_down(e.b);
       if (pending_retarget_) {
         std::vector<core::Mass> current;
@@ -128,7 +172,8 @@ void AsyncEngine::handle(const Event& e) {
         }
         oracle_.retarget(current);
         // Retarget on every detect while a crash settles; the final detect
-        // leaves the correct conserved target.
+        // leaves the correct conserved target and ends the settling window.
+        if (pending_detects_ == 0) pending_retarget_ = false;
       }
       return;
     }
@@ -143,6 +188,7 @@ void AsyncEngine::run_until(double time) {
     handle(e);
   }
   now_ = std::max(now_, time);
+  check_invariants_now();
 }
 
 bool AsyncEngine::run_until_error(double tol, double deadline, double check_interval) {

@@ -20,6 +20,7 @@
 
 #include "core/reducer.hpp"
 #include "sim/faults.hpp"
+#include "sim/invariants.hpp"
 #include "sim/metrics.hpp"
 
 namespace pcf::sim {
@@ -32,6 +33,7 @@ struct AsyncEngineConfig {
   double tick_rate = 1.0;     ///< gossip sends per node per time unit
   double latency_min = 0.05;  ///< packet latency lower bound
   double latency_max = 0.5;   ///< packet latency upper bound (exclusive)
+  InvariantConfig invariants;  ///< runtime invariant checking (see invariants.hpp)
 };
 
 // A note on node crashes and the oracle: unlike the synchronous engine
@@ -67,7 +69,15 @@ class AsyncEngine {
   [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
   [[nodiscard]] bool node_alive(NodeId i) const { return alive_.at(i); }
 
+  /// The invariant monitor, or nullptr when checking is disabled. Checks run
+  /// at every run_until() boundary (there is no quiescent round boundary in
+  /// an asynchronous network, so only the in-flight-safe checkers fire).
+  [[nodiscard]] const InvariantMonitor* invariants() const noexcept { return monitor_.get(); }
+  /// Runs all invariant checkers against the current state immediately.
+  void check_invariants_now();
+
  private:
+  struct View;
   struct Event {
     double time;
     enum class Kind { kTick, kDelivery, kLinkFailure, kCrash, kDetect, kDataUpdate } kind;
@@ -102,6 +112,11 @@ class AsyncEngine {
   std::uint64_t seq_ = 0;
   std::size_t delivered_ = 0;
   bool pending_retarget_ = false;
+  std::size_t pending_detects_ = 0;  // kDetect events scheduled but not handled
+  std::unique_ptr<InvariantMonitor> monitor_;
+  std::size_t link_failures_fired_ = 0;
+  std::size_t crashes_fired_ = 0;
+  std::size_t data_updates_fired_ = 0;
 };
 
 }  // namespace pcf::sim

@@ -13,6 +13,49 @@ std::pair<NodeId, NodeId> norm_edge(NodeId a, NodeId b) {
 }
 }  // namespace
 
+/// Read-only adapter the invariant checkers observe the engine through.
+struct SyncEngine::View final : SystemView {
+  explicit View(const SyncEngine& e) : engine(e) {}
+  [[nodiscard]] const net::Topology& topology() const override { return engine.topology_; }
+  [[nodiscard]] core::Algorithm algorithm() const override { return engine.config_.algorithm; }
+  [[nodiscard]] double time() const override { return static_cast<double>(engine.round_); }
+  [[nodiscard]] bool alive(NodeId i) const override { return engine.alive_.at(i); }
+  [[nodiscard]] const core::Reducer& node(NodeId i) const override { return *engine.nodes_.at(i); }
+  [[nodiscard]] bool link_dead(NodeId a, NodeId b) const override {
+    return engine.dead_links_.count(norm_edge(a, b)) != 0;
+  }
+  [[nodiscard]] const Oracle& oracle() const override { return engine.oracle_; }
+  [[nodiscard]] FaultExposure faults() const override {
+    const FaultPlan& plan = engine.config_.faults;
+    FaultExposure f;
+    // Crossing delivery mirrors stale flows, so conservation is transiently
+    // broken even at round boundaries — treat it as permanently in flight.
+    f.in_flight = engine.config_.delivery == Delivery::kCrossing;
+    f.messages_dropped = engine.stats_.messages_dropped;
+    f.messages_flipped = engine.stats_.messages_flipped;
+    f.state_flips = engine.stats_.state_flips;
+    f.lossy_env = plan.message_loss_prob > 0.0 || plan.bit_flip_prob > 0.0 ||
+                  plan.state_flip_prob > 0.0;
+    f.any_bit_flips = plan.bit_flip_any_bit &&
+                      (plan.bit_flip_prob > 0.0 || engine.stats_.messages_flipped > 0);
+    f.crash_settling = engine.pending_retarget_;
+    f.link_failures = engine.next_link_failure_ + engine.explicit_link_failures_;
+    f.crashes = engine.crashes_fired_;
+    f.data_updates = engine.next_data_update_ + engine.explicit_data_updates_;
+    return f;
+  }
+  const SyncEngine& engine;
+};
+
+void SyncEngine::check_invariants(bool force) {
+  if (!monitor_) return;
+  if (!force && round_ % monitor_->config().check_every != 0) return;
+  const View view(*this);
+  monitor_->check(view);
+}
+
+void SyncEngine::check_invariants_now() { check_invariants(/*force=*/true); }
+
 SyncEngine::SyncEngine(net::Topology topology, std::span<const core::Mass> initial,
                        SyncEngineConfig config)
     : topology_(topology),
@@ -48,6 +91,11 @@ SyncEngine::SyncEngine(net::Topology topology, std::span<const core::Mass> initi
             [](const auto& x, const auto& y) { return x.time < y.time; });
   for (const auto& u : config_.faults.data_updates) {
     PCF_CHECK_MSG(u.node < topology.size(), "fault plan: data update node out of range");
+  }
+
+  if (config_.invariants.resolve_enabled()) {
+    monitor_ = std::make_unique<InvariantMonitor>(config_.invariants);
+    monitor_->install_default_checkers();
   }
 }
 
@@ -85,6 +133,7 @@ void SyncEngine::process_due_faults() {
     const auto& c = plan.node_crashes[next_node_crash_++];
     if (!alive_[c.node]) continue;
     alive_[c.node] = false;
+    ++crashes_fired_;
     for (const NodeId peer : topology_.neighbors(c.node)) fail_link(c.node, peer, c.time);
     // The crashed node's mass left the computation; once the exclusion
     // notifications below have fired, the survivors' conserved mass is the
@@ -109,6 +158,7 @@ void SyncEngine::process_due_faults() {
 void SyncEngine::fail_link_now(NodeId a, NodeId b) {
   PCF_CHECK_MSG(topology_.has_edge(a, b), "fail_link_now: no link " << a << "-" << b);
   if (!dead_links_.insert(norm_edge(a, b)).second) return;
+  ++explicit_link_failures_;
   if (alive_[a]) nodes_[a]->on_link_down(b);
   if (alive_[b]) nodes_[b]->on_link_down(a);
 }
@@ -118,6 +168,7 @@ void SyncEngine::apply_data_update(NodeId node, const core::Mass& delta) {
   PCF_CHECK_MSG(alive_[node], "data update on a crashed node");
   nodes_[node]->update_data(delta);
   oracle_.shift(delta);
+  ++explicit_data_updates_;
 }
 
 std::size_t SyncEngine::step() {
@@ -165,6 +216,7 @@ std::size_t SyncEngine::step() {
     nodes_[msg.to]->on_receive(msg.from, msg.packet);
   }
   stats_.rounds = round_;
+  check_invariants(/*force=*/false);
   return round_;
 }
 

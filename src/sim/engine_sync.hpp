@@ -19,6 +19,7 @@
 #include "core/stopping.hpp"
 #include "net/topology.hpp"
 #include "sim/faults.hpp"
+#include "sim/invariants.hpp"
 #include "sim/metrics.hpp"
 
 namespace pcf::sim {
@@ -44,6 +45,7 @@ struct SyncEngineConfig {
   FaultPlan faults;
   std::uint64_t seed = 1;
   Delivery delivery = Delivery::kSequential;
+  InvariantConfig invariants;  ///< runtime invariant checking (see invariants.hpp)
 };
 
 struct RunStats {
@@ -115,7 +117,15 @@ class SyncEngine {
   /// Samples a TracePoint for the current state.
   [[nodiscard]] TracePoint sample(std::size_t k = 0) const;
 
+  /// The invariant monitor, or nullptr when checking is disabled.
+  [[nodiscard]] const InvariantMonitor* invariants() const noexcept { return monitor_.get(); }
+  /// Runs all invariant checkers against the current state immediately
+  /// (independent of the per-round cadence). No-op when checking is disabled.
+  void check_invariants_now();
+
  private:
+  struct View;
+  void check_invariants(bool force);
   void process_due_faults();
   void fail_link(NodeId a, NodeId b, double physical_time);
   void deliver_notifications_due();
@@ -140,6 +150,10 @@ class SyncEngine {
   std::size_t round_ = 0;
   RunStats stats_;
   bool pending_retarget_ = false;
+  std::unique_ptr<InvariantMonitor> monitor_;
+  std::size_t explicit_link_failures_ = 0;  // via fail_link_now()
+  std::size_t crashes_fired_ = 0;
+  std::size_t explicit_data_updates_ = 0;  // via apply_data_update()
 
   struct InFlight {
     NodeId from;

@@ -1,5 +1,6 @@
 #include "sim/fault_spec.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <vector>
 
@@ -35,6 +36,15 @@ NodeId to_node(const std::string& s) {
   return static_cast<NodeId>(v);
 }
 
+/// Shortest representation that strtod round-trips exactly (%.17g always
+/// does; prefer %g when it survives the round trip).
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  if (std::strtod(buf, nullptr) != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 }  // namespace
 
 FaultPlan parse_fault_spec(const std::string& link_failures, const std::string& node_crashes,
@@ -58,6 +68,34 @@ FaultPlan parse_fault_spec(const std::string& link_failures, const std::string& 
                                  core::Mass::scalar(to_double(fields[2], "delta"), 0.0)});
   }
   return plan;
+}
+
+std::string format_link_failures(std::span<const LinkFailureEvent> events) {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) out += ',';
+    out += format_double(e.time) + ':' + std::to_string(e.a) + ':' + std::to_string(e.b);
+  }
+  return out;
+}
+
+std::string format_node_crashes(std::span<const NodeCrashEvent> events) {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) out += ',';
+    out += format_double(e.time) + ':' + std::to_string(e.node);
+  }
+  return out;
+}
+
+std::string format_data_updates(std::span<const DataUpdateEvent> events) {
+  std::string out;
+  for (const auto& e : events) {
+    PCF_CHECK_MSG(e.delta.dim() == 1, "only scalar data updates have a spec representation");
+    if (!out.empty()) out += ',';
+    out += format_double(e.time) + ':' + std::to_string(e.node) + ':' + format_double(e.delta.s[0]);
+  }
+  return out;
 }
 
 }  // namespace pcf::sim

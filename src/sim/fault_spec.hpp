@@ -6,6 +6,7 @@
 //   data updates  : "T:N:DELTA[,...]"       e.g.  "50:3:2.5,80:0:-1"
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "sim/faults.hpp"
@@ -17,5 +18,14 @@ namespace pcf::sim {
 [[nodiscard]] FaultPlan parse_fault_spec(const std::string& link_failures,
                                          const std::string& node_crashes,
                                          const std::string& data_updates);
+
+// Inverses of parse_fault_spec, one per event list — round-trip safe, so a
+// FaultPlan can be dumped into a reproduction command line (the differential
+// harness writes minimized repro specs this way).
+[[nodiscard]] std::string format_link_failures(std::span<const LinkFailureEvent> events);
+[[nodiscard]] std::string format_node_crashes(std::span<const NodeCrashEvent> events);
+/// Only scalar deltas are representable in the spec grammar; vector-payload
+/// updates are rejected with ContractViolation.
+[[nodiscard]] std::string format_data_updates(std::span<const DataUpdateEvent> events);
 
 }  // namespace pcf::sim

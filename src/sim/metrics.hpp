@@ -24,6 +24,11 @@ class Oracle {
 
   [[nodiscard]] std::size_t dim() const noexcept { return numerators_.size(); }
   [[nodiscard]] double target(std::size_t k = 0) const;
+  /// Conserved numerator Σ s[k] — the quantity the invariant checkers compare
+  /// the live nodes' summed masses against.
+  [[nodiscard]] double numerator(std::size_t k) const { return numerators_.at(k); }
+  /// Conserved total weight Σ w.
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
 
   /// Recomputes the targets from the given current masses — called after a
   /// node crash removed mass from the computation.

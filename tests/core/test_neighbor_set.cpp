@@ -1,0 +1,94 @@
+#include "core/neighbor_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace pcf::core {
+namespace {
+
+NeighborSet make_set(std::initializer_list<net::NodeId> ids) {
+  NeighborSet set;
+  set.init(std::vector<net::NodeId>(ids));
+  return set;
+}
+
+TEST(NeighborSet, InitSortsTheIds) {
+  const auto set = make_set({9, 2, 5});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.id_at(0), 2u);
+  EXPECT_EQ(set.id_at(1), 5u);
+  EXPECT_EQ(set.id_at(2), 9u);
+  EXPECT_EQ(set.live_count(), 3u);
+}
+
+TEST(NeighborSet, InitRejectsDuplicateIds) {
+  NeighborSet set;
+  const std::array<net::NodeId, 3> ids{4, 7, 4};
+  EXPECT_THROW(set.init(ids), ContractViolation);
+}
+
+TEST(NeighborSet, SlotOfIsTheSortedPosition) {
+  const auto set = make_set({9, 2, 5});
+  EXPECT_EQ(set.slot_of(2), std::optional<std::size_t>{0});
+  EXPECT_EQ(set.slot_of(5), std::optional<std::size_t>{1});
+  EXPECT_EQ(set.slot_of(9), std::optional<std::size_t>{2});
+  EXPECT_FALSE(set.slot_of(3).has_value());
+  EXPECT_FALSE(set.slot_of(10).has_value());
+}
+
+TEST(NeighborSet, MarkDeadReportsTheSlotExactlyOnce) {
+  auto set = make_set({1, 3, 8});
+  EXPECT_EQ(set.mark_dead(3), std::optional<std::size_t>{1});
+  EXPECT_FALSE(set.alive_at(1));
+  EXPECT_EQ(set.live_count(), 2u);
+  // Duplicate failure notifications and unknown peers are benign no-ops.
+  EXPECT_FALSE(set.mark_dead(3).has_value());
+  EXPECT_FALSE(set.mark_dead(99).has_value());
+  EXPECT_EQ(set.live_count(), 2u);
+}
+
+TEST(NeighborSet, PickLiveNeverReturnsADeadNeighbor) {
+  auto set = make_set({0, 1, 2, 3});
+  ASSERT_TRUE(set.mark_dead(1).has_value());
+  ASSERT_TRUE(set.mark_dead(3).has_value());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto picked = set.pick_live(rng);
+    ASSERT_TRUE(picked.has_value());
+    EXPECT_TRUE(*picked == 0 || *picked == 2) << *picked;
+  }
+}
+
+TEST(NeighborSet, PickLiveIsRoughlyUniform) {
+  auto set = make_set({10, 20, 30});
+  Rng rng(42);
+  std::map<net::NodeId, int> counts;
+  constexpr int kDraws = 3000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto picked = set.pick_live(rng);
+    ASSERT_TRUE(picked.has_value());
+    ++counts[*picked];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [id, count] : counts) {
+    // Each neighbor expects kDraws/3 = 1000 hits; 6 sigma ≈ ±155.
+    EXPECT_GT(count, 800) << "neighbor " << id;
+    EXPECT_LT(count, 1200) << "neighbor " << id;
+  }
+}
+
+TEST(NeighborSet, PickLiveIsExhaustedWhenAllNeighborsDied) {
+  auto set = make_set({5, 6});
+  ASSERT_TRUE(set.mark_dead(5).has_value());
+  ASSERT_TRUE(set.mark_dead(6).has_value());
+  EXPECT_EQ(set.live_count(), 0u);
+  Rng rng(1);
+  EXPECT_FALSE(set.pick_live(rng).has_value());
+}
+
+}  // namespace
+}  // namespace pcf::core

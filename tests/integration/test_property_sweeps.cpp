@@ -49,13 +49,21 @@ std::vector<SweepCase> make_cases() {
   std::vector<SweepCase> cases;
   const std::vector<Algorithm> algorithms{Algorithm::kPushSum, Algorithm::kPushFlow,
                                           Algorithm::kPushCancelFlow, Algorithm::kFlowUpdating};
+#ifdef PCF_TEST_FAST
+  // Instrumented (sanitizer) builds: one dense and one sparse topology, one
+  // seed — same assertions, ~10× fewer runs.
+  const std::vector<std::string> topologies{"hypercube:4", "ring:12"};
+  const std::vector<std::uint64_t> seeds{11u};
+#else
   const std::vector<std::string> topologies{"hypercube:4", "torus3d:2", "ring:12", "grid:3x5",
                                             "er:20:0.2"};
+  const std::vector<std::uint64_t> seeds{11u, 29u};
+#endif
   const std::vector<Aggregate> aggregates{Aggregate::kAverage, Aggregate::kSum};
   for (const auto alg : algorithms) {
     for (const auto& topo : topologies) {
       for (const auto agg : aggregates) {
-        for (const std::uint64_t seed : {11u, 29u}) {
+        for (const std::uint64_t seed : seeds) {
           cases.push_back({alg, topo, agg, seed});
         }
       }
@@ -99,10 +107,17 @@ std::vector<SweepCase> make_fault_tolerant_cases() {
   // Only 2-edge-connected topologies: a link failure or node crash must not
   // partition the network (a partitioned gossip computation has no global
   // aggregate to converge to).
+#ifdef PCF_TEST_FAST
+  const std::vector<std::string> topologies{"hypercube:4", "ring:12"};
+  const std::vector<std::uint64_t> seeds{5u};
+#else
+  const std::vector<std::string> topologies{"hypercube:4", "ring:12", "torus2d:3x4"};
+  const std::vector<std::uint64_t> seeds{5u, 23u};
+#endif
   for (const auto alg :
        {Algorithm::kPushFlow, Algorithm::kPushCancelFlow, Algorithm::kFlowUpdating}) {
-    for (const auto& topo : {"hypercube:4", "ring:12", "torus2d:3x4"}) {
-      for (const std::uint64_t seed : {5u, 23u}) {
+    for (const auto& topo : topologies) {
+      for (const std::uint64_t seed : seeds) {
         cases.push_back({alg, topo, Aggregate::kAverage, seed});
       }
     }

@@ -1,0 +1,93 @@
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/mass.hpp"
+
+namespace pcf::runtime {
+namespace {
+
+Envelope make_envelope(net::NodeId from, double value) {
+  Envelope e;
+  e.from = from;
+  e.packet.a = core::Mass::scalar(value, 1.0);
+  return e;
+}
+
+TEST(Mailbox, StartsEmpty) {
+  Mailbox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_TRUE(box.drain().empty());
+}
+
+TEST(Mailbox, DrainPreservesFifoOrderAndEmptiesTheBox) {
+  Mailbox box;
+  for (int i = 0; i < 5; ++i) box.push(make_envelope(static_cast<net::NodeId>(i), i * 1.0));
+  EXPECT_FALSE(box.empty());
+
+  const auto drained = box.drain();
+  ASSERT_EQ(drained.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(drained[static_cast<std::size_t>(i)].from, static_cast<net::NodeId>(i));
+    EXPECT_EQ(drained[static_cast<std::size_t>(i)].packet.a.s[0], i * 1.0);
+  }
+  EXPECT_TRUE(box.empty());
+  EXPECT_TRUE(box.drain().empty());
+}
+
+TEST(Mailbox, PushAfterDrainStartsAFreshBatch) {
+  Mailbox box;
+  box.push(make_envelope(1, 1.0));
+  (void)box.drain();
+  box.push(make_envelope(2, 2.0));
+  const auto drained = box.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].from, 2u);
+}
+
+// Concurrent producers with one draining consumer — the deployment shape of
+// the threaded runtime (any thread delivers, only the owner drains). Checks
+// nothing is lost or duplicated and each producer's envelopes arrive in its
+// push order. This test is the TSan CI job's primary mailbox workload.
+TEST(Mailbox, ConcurrentProducersLoseNothingAndKeepPerProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+
+  Mailbox box;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        box.push(make_envelope(static_cast<net::NodeId>(p), i * 1.0));
+      }
+    });
+  }
+
+  // Consumer: drain concurrently with the producers, then once more after the
+  // join to collect stragglers.
+  std::vector<Envelope> received;
+  received.reserve(kProducers * kPerProducer);
+  while (received.size() < kProducers * kPerProducer) {
+    for (auto& envelope : box.drain()) received.push_back(envelope);
+  }
+  for (auto& producer : producers) producer.join();
+  for (auto& envelope : box.drain()) received.push_back(envelope);
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kProducers) * kPerProducer);
+  std::vector<double> next_expected(kProducers, 0.0);
+  for (const auto& envelope : received) {
+    auto& expected = next_expected[envelope.from];
+    EXPECT_EQ(envelope.packet.a.s[0], expected) << "producer " << envelope.from;
+    expected += 1.0;
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[static_cast<std::size_t>(p)], kPerProducer * 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pcf::runtime

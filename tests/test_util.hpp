@@ -43,6 +43,10 @@ inline sim::SyncEngine make_engine(const net::Topology& topology, core::Algorith
   cfg.faults = std::move(faults);
   cfg.seed = seed;
   cfg.reducer = reducer;
+  // The runtime invariant checkers double every engine-based test as an
+  // invariant test (ctest also sets PCF_CHECK_INVARIANTS=1; this makes the
+  // suite safe to run bare too).
+  cfg.invariants.enabled = true;
   return sim::SyncEngine(topology, masses, cfg);
 }
 

@@ -1,0 +1,69 @@
+# End-to-end smoke test for the pcflow CLI, run via `cmake -P`.
+#
+# Expects:
+#   PCFLOW   — path to the pcflow executable
+#   WORK_DIR — writable scratch directory
+#
+# Checks: a faulted run exits 0 and prints the "final:" summary; the CSV trace
+# it writes has the documented header and numeric rows; malformed input exits
+# with code 2 (the ContractViolation path).
+
+if(NOT PCFLOW OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DPCFLOW=<exe> -DWORK_DIR=<dir> -P smoke_pcflow_cli.cmake")
+endif()
+
+set(csv "${WORK_DIR}/pcflow_smoke_trace.csv")
+file(REMOVE "${csv}")
+
+execute_process(
+  COMMAND "${PCFLOW}" --topology=ring:10 --algorithm=pcf --rounds=150
+          --link-fail=50:0:1 --update=80:3:2.5 --trace-every=25 --seed=7 --csv=${csv}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pcflow exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "final:  max error")
+  message(FATAL_ERROR "pcflow stdout is missing the final summary line:\n${out}")
+endif()
+if(NOT out MATCHES "target aggregate")
+  message(FATAL_ERROR "pcflow stdout is missing the target line:\n${out}")
+endif()
+
+if(NOT EXISTS "${csv}")
+  message(FATAL_ERROR "pcflow did not write the CSV trace to ${csv}")
+endif()
+file(STRINGS "${csv}" lines)
+list(LENGTH lines line_count)
+if(line_count LESS 2)
+  message(FATAL_ERROR "CSV trace has no data rows (${line_count} lines)")
+endif()
+list(GET lines 0 header)
+if(NOT header STREQUAL "round,max_error,median_error,p99_error,max_abs_flow,target")
+  message(FATAL_ERROR "unexpected CSV header: '${header}'")
+endif()
+# Every data row: integer round followed by five numeric fields. (CMake's
+# regex engine has no {n} repetition, so the field pattern is spelled out.)
+set(num ",[-+0-9.eEnaif]+")
+math(EXPR last "${line_count} - 1")
+foreach(i RANGE 1 ${last})
+  list(GET lines ${i} row)
+  if(NOT row MATCHES "^[0-9]+${num}${num}${num}${num}${num}$")
+    message(FATAL_ERROR "CSV row ${i} does not parse as numbers: '${row}'")
+  endif()
+endforeach()
+
+# Malformed input must exit with code 2 (ContractViolation), not crash.
+execute_process(
+  COMMAND "${PCFLOW}" --topology=nonsense
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad topology should exit 2, got ${rc}\nstderr:\n${err}")
+endif()
+execute_process(
+  COMMAND "${PCFLOW}" --topology=ring:10 --link-fail=banana
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad fault spec should exit 2, got ${rc}\nstderr:\n${err}")
+endif()
+
+message(STATUS "pcflow CLI smoke test passed")
