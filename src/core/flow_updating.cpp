@@ -108,6 +108,19 @@ bool FlowUpdating::corrupt_stored_flow(Rng& rng) {
   return true;
 }
 
+Mass FlowUpdating::unreceived_mass(NodeId from, const Packet& packet) const {
+  PCF_CHECK_MSG(initialized_, "unreceived_mass before init");
+  Mass none = Mass::zero(initial_.dim());
+  const auto slot = neighbors_.slot_of(from);
+  // Same acceptance conditions as on_receive. The estimate part (packet.b)
+  // carries no conserved mass; only the flow mirror does.
+  if (!slot || !neighbors_.alive_at(*slot) || packet.a.dim() != initial_.dim() ||
+      packet.b.dim() != initial_.dim()) {
+    return none;
+  }
+  return flows_[*slot] + packet.a;
+}
+
 std::size_t FlowUpdating::flows_toward(NodeId j, std::span<Mass> out) const {
   const auto slot = neighbors_.slot_of(j);
   if (!slot || !neighbors_.alive_at(*slot) || out.empty()) return 0;

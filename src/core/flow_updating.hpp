@@ -50,6 +50,7 @@ class FlowUpdating final : public Reducer {
   [[nodiscard]] std::size_t wire_masses() const noexcept override { return 2; }
   bool corrupt_stored_flow(Rng& rng) override;
   [[nodiscard]] std::size_t flows_toward(NodeId j, std::span<Mass> out) const override;
+  [[nodiscard]] Mass unreceived_mass(NodeId from, const Packet& packet) const override;
 
  private:
   /// Component-wise fused average over own mass and live neighbor estimates.

@@ -266,6 +266,59 @@ std::size_t PushCancelFlow::flows_toward(NodeId j, std::span<Mass> out) const {
   return 2;
 }
 
+Mass PushCancelFlow::unreceived_mass(NodeId from, const Packet& packet) const {
+  PCF_CHECK_MSG(initialized_, "unreceived_mass before init");
+  Mass delta = Mass::zero(initial_.dim());
+  const auto slot_opt = neighbors_.slot_of(from);
+  // Same acceptance conditions as on_receive.
+  if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return delta;
+  if (packet.a.dim() != initial_.dim() || packet.b.dim() != initial_.dim()) return delta;
+  if (packet.active_slot != 1 && packet.active_slot != 2) return delta;
+
+  // Replays the receive phase rules without mutating: determine which slots
+  // the packet would mirror and sum their mass deltas. Mirroring slot s to
+  // −packet[s] changes local_mass by f_old[s] + packet[s]; absorptions and
+  // role swaps move mass between ϕ and the slots and are mass-neutral, so
+  // they do not contribute.
+  const EdgeState& edge = edges_[*slot_opt];
+  const std::uint64_t r_p = packet.role_count;
+  const auto mirror_delta = [&](std::uint8_t s) {
+    delta += edge.flow[s] + packet_slot(packet, s);
+  };
+
+  if (self_ < from) {  // we are the initiator
+    if (r_p == edge.cycle) {
+      if (edge.cycle % 2 == 1) {
+        // Adopting the completer's swap: mirror the new active (old passive).
+        mirror_delta(static_cast<std::uint8_t>(1 - edge.active));
+      } else {
+        mirror_delta(edge.active);  // steady PF; a cancellation is neutral
+      }
+    } else if (r_p + 1 == edge.cycle) {
+      mirror_delta(edge.active);
+    }
+    // else: stale pipeline leftovers — dropped.
+    return delta;
+  }
+
+  // We are the completer.
+  std::uint8_t active = edge.active;
+  std::uint64_t cycle = edge.cycle;
+  if (r_p == cycle + 1) {
+    if (cycle % 2 == 0) active = static_cast<std::uint8_t>(1 - active);  // swap on absorb
+    ++cycle;
+  } else if (r_p != cycle) {
+    return delta;  // dropped defensively
+  }
+  if (cycle % 2 == 1) {
+    mirror_delta(static_cast<std::uint8_t>(1 - active));  // transition: passive only
+  } else {
+    mirror_delta(active);  // steady: both slots
+    mirror_delta(static_cast<std::uint8_t>(1 - active));
+  }
+  return delta;
+}
+
 PushCancelFlow::EdgeView PushCancelFlow::edge_state(NodeId j) const {
   const auto slot = neighbors_.slot_of(j);
   PCF_CHECK_MSG(slot.has_value(), "edge_state: node " << j << " is not a neighbor");

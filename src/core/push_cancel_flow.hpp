@@ -88,6 +88,7 @@ class PushCancelFlow final : public Reducer {
   [[nodiscard]] std::size_t wire_masses() const noexcept override { return 2; }
   bool corrupt_stored_flow(Rng& rng) override;
   [[nodiscard]] std::size_t flows_toward(NodeId j, std::span<Mass> out) const override;
+  [[nodiscard]] Mass unreceived_mass(NodeId from, const Packet& packet) const override;
 
   /// Test hooks.
   struct EdgeView {

@@ -112,6 +112,17 @@ double PushFlow::max_abs_flow_component() const noexcept {
   return best;
 }
 
+Mass PushFlow::unreceived_mass(NodeId from, const Packet& packet) const {
+  PCF_CHECK_MSG(initialized_, "unreceived_mass before init");
+  Mass none = Mass::zero(initial_.dim());
+  const auto slot = neighbors_.slot_of(from);
+  // Same acceptance conditions as on_receive.
+  if (!slot || !neighbors_.alive_at(*slot) || packet.a.dim() != initial_.dim()) return none;
+  // Delivery overwrites the mirror with −packet.a; the mass is the derived
+  // state initial − Σ flows, so Δmass = f_old − f_new = f_old + packet.a.
+  return flows_[*slot] + packet.a;
+}
+
 std::size_t PushFlow::flows_toward(NodeId j, std::span<Mass> out) const {
   const auto slot = neighbors_.slot_of(j);
   if (!slot || !neighbors_.alive_at(*slot) || out.empty()) return 0;

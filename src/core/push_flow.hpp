@@ -43,6 +43,7 @@ class PushFlow final : public Reducer {
   [[nodiscard]] double max_abs_flow_component() const noexcept override;
   bool corrupt_stored_flow(Rng& rng) override;
   [[nodiscard]] std::size_t flows_toward(NodeId j, std::span<Mass> out) const override;
+  [[nodiscard]] Mass unreceived_mass(NodeId from, const Packet& packet) const override;
 
   /// Test hook: the flow variable toward neighbor j (throws if not a neighbor).
   [[nodiscard]] const Mass& flow_to(NodeId j) const;

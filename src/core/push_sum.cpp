@@ -44,6 +44,16 @@ void PushSum::update_data(const Mass& delta) {
   mass_ += delta;
 }
 
+Mass PushSum::unreceived_mass(NodeId from, const Packet& packet) const {
+  PCF_CHECK_MSG(initialized_, "unreceived_mass before init");
+  // Mirrors on_receive: a packet from a non-neighbor is ignored, everything
+  // else adds its share outright.
+  if (!neighbors_.slot_of(from) || packet.a.dim() != mass_.dim()) {
+    return Mass::zero(mass_.dim());
+  }
+  return packet.a;
+}
+
 void PushSum::on_link_down(NodeId j) {
   // Push-sum has no flow state to roll back: mass already in flight to or
   // from the dead link is simply lost. We only stop selecting the neighbor.

@@ -27,6 +27,9 @@ class PushSum final : public Reducer {
   [[nodiscard]] std::size_t live_degree() const noexcept override {
     return neighbors_.live_count();
   }
+  [[nodiscard]] Mass unreceived_mass(NodeId from, const Packet& packet) const override;
+  /// Every in-flight packet is an independent mass transfer.
+  [[nodiscard]] bool in_flight_mass_accumulates() const noexcept override { return true; }
 
  private:
   ReducerConfig config_;

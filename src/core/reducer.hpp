@@ -162,6 +162,25 @@ class Reducer {
     (void)rng;
     return false;
   }
+
+  /// Mass accounting for the engines' crash retarget: the mass this node's
+  /// state does NOT yet reflect but which delivering `packet` (a pending
+  /// in-flight packet from neighbor `from`) would add to local_mass().
+  /// Returns zero mass whenever on_receive would ignore the packet (unknown
+  /// or excluded link, corrupted dimensions). Push-sum: the packet's mass
+  /// share. Flow algorithms: stored-mirror minus the packet's flow — an
+  /// *absolute* quantity, so only the newest pending packet per directed link
+  /// counts (see in_flight_mass_accumulates()).
+  [[nodiscard]] virtual Mass unreceived_mass(NodeId from, const Packet& packet) const {
+    (void)from;
+    return Mass::zero(packet.a.dim());
+  }
+
+  /// Whether pending packets on one directed link carry *independent* mass
+  /// (push-sum: each packet is a transfer; sum them all) or supersede each
+  /// other (flow algorithms: the mirror is absolute; only the newest pending
+  /// packet counts).
+  [[nodiscard]] virtual bool in_flight_mass_accumulates() const noexcept { return false; }
 };
 
 /// Factory for all reducer algorithms.

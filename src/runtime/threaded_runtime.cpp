@@ -62,20 +62,31 @@ void ThreadedRuntime::worker(std::size_t worker_index, std::size_t steps_per_nod
 }
 
 void ThreadedRuntime::run(std::size_t steps_per_node) {
-  std::barrier step_barrier(static_cast<std::ptrdiff_t>(config_.num_threads));
-  std::vector<std::thread> workers;
-  workers.reserve(config_.num_threads);
-  for (std::size_t w = 0; w < config_.num_threads; ++w) {
-    workers.emplace_back(
-        [this, w, steps_per_node, &step_barrier] { worker(w, steps_per_node, step_barrier); });
+  {
+    const auto timer = perf_.time(PerfCounters::Phase::kRun);
+    workers_active_.store(true, std::memory_order_release);
+    std::barrier step_barrier(static_cast<std::ptrdiff_t>(config_.num_threads));
+    std::vector<std::thread> workers;
+    workers.reserve(config_.num_threads);
+    for (std::size_t w = 0; w < config_.num_threads; ++w) {
+      workers.emplace_back(
+          [this, w, steps_per_node, &step_barrier] { worker(w, steps_per_node, step_barrier); });
+    }
+    for (auto& t : workers) t.join();
+    workers_active_.store(false, std::memory_order_release);
   }
-  for (auto& t : workers) t.join();
   // Quiesce: receives never generate packets, so one drain pass empties all
   // in-flight traffic.
+  const auto timer = perf_.time(PerfCounters::Phase::kDrain);
   for (net::NodeId i = 0; i < nodes_.size(); ++i) drain_node(i);
+  perf_.rounds += steps_per_node;
+  perf_.deliveries = delivered_.load(std::memory_order_relaxed);
 }
 
 void ThreadedRuntime::fail_link(net::NodeId a, net::NodeId b) {
+  // Workers read dead_links_ lock-free; mutating it mid-phase would be a data
+  // race (and was, before this guard — found by tsan on the bench harness).
+  PCF_CHECK_MSG(!workers_active(), "fail_link while a run() phase is active");
   PCF_CHECK_MSG(topology_.has_edge(a, b), "fail_link: no such link");
   if (!dead_links_.insert(norm_edge(a, b)).second) return;
   nodes_[a]->on_link_down(b);
@@ -90,6 +101,7 @@ std::vector<double> ThreadedRuntime::estimates(std::size_t k) const {
 }
 
 core::Mass ThreadedRuntime::total_mass() const {
+  PCF_CHECK_MSG(!nodes_.empty(), "total_mass on an empty runtime");
   core::Mass total = nodes_.front()->local_mass();
   for (std::size_t i = 1; i < nodes_.size(); ++i) total += nodes_[i]->local_mass();
   return total;

@@ -23,6 +23,7 @@
 #include "core/reducer.hpp"
 #include "net/topology.hpp"
 #include "runtime/mailbox.hpp"
+#include "support/perf.hpp"
 
 namespace pcf::runtime {
 
@@ -45,8 +46,10 @@ class ThreadedRuntime {
   /// Blocks until the phase is complete. May be called repeatedly.
   void run(std::size_t steps_per_node);
 
-  /// Injects a permanent link failure. Must be called between run() phases
-  /// (no workers active); both endpoints are notified immediately.
+  /// Injects a permanent link failure. Must be called between run() phases:
+  /// workers read dead_links_ without a lock, so mutating it mid-phase is a
+  /// data race. Calling this while workers are active throws
+  /// ContractViolation instead of racing.
   void fail_link(net::NodeId a, net::NodeId b);
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
@@ -54,6 +57,12 @@ class ThreadedRuntime {
   [[nodiscard]] core::Mass total_mass() const;
   [[nodiscard]] const core::Reducer& node(net::NodeId i) const { return *nodes_.at(i); }
   [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_.load(); }
+  /// True while a run() phase has worker threads up (test/guard hook).
+  [[nodiscard]] bool workers_active() const noexcept {
+    return workers_active_.load(std::memory_order_acquire);
+  }
+  /// Wall-clock per phase (kRun / kDrain) and step counters.
+  [[nodiscard]] const PerfCounters& perf() const noexcept { return perf_; }
 
  private:
   void worker(std::size_t worker_index, std::size_t steps_per_node, std::barrier<>& step_barrier);
@@ -67,6 +76,8 @@ class ThreadedRuntime {
   std::vector<std::vector<net::NodeId>> shards_;  // nodes per worker
   std::set<std::pair<net::NodeId, net::NodeId>> dead_links_;
   std::atomic<std::size_t> delivered_{0};
+  std::atomic<bool> workers_active_{false};
+  PerfCounters perf_;
 };
 
 }  // namespace pcf::runtime

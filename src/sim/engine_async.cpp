@@ -130,6 +130,8 @@ void AsyncEngine::handle(const Event& e) {
       auto& last = last_arrival_[{i, out->to}];
       arrival = std::max(arrival, last + 1e-9);
       last = arrival;
+      ++perf_.messages_sent;
+      perf_.doubles_on_wire += nodes_[i]->wire_masses() * (packet.a.dim() + 1);
       push({arrival, Event::Kind::kDelivery, i, out->to, 0, std::move(packet)});
       return;
     }
@@ -139,6 +141,7 @@ void AsyncEngine::handle(const Event& e) {
       if (dead_links_.count(norm_edge(e.a, e.b)) != 0 || !alive_[e.b]) return;
       nodes_[e.b]->on_receive(e.a, e.packet);
       ++delivered_;
+      ++perf_.deliveries;
       return;
     }
     case Event::Kind::kLinkFailure:
@@ -170,6 +173,10 @@ void AsyncEngine::handle(const Event& e) {
         for (NodeId i = 0; i < nodes_.size(); ++i) {
           if (alive_[i]) current.push_back(nodes_[i]->local_mass());
         }
+        // Survivors' local masses alone miss whatever is still on the wire
+        // between live nodes; fold the queued deliveries in so the target is
+        // the mass the system will actually conserve once they land.
+        append_in_flight_mass(current);
         oracle_.retarget(current);
         // Retarget on every detect while a crash settles; the final detect
         // leaves the correct conserved target and ends the settling window.
@@ -180,13 +187,43 @@ void AsyncEngine::handle(const Event& e) {
   }
 }
 
-void AsyncEngine::run_until(double time) {
-  while (!queue_.empty() && queue_.top().time <= time) {
-    Event e = queue_.top();
-    queue_.pop();
-    now_ = e.time;
-    handle(e);
+void AsyncEngine::append_in_flight_mass(std::vector<core::Mass>& masses) const {
+  // Deliveries to dead nodes or over dead links will be dropped on arrival —
+  // their mass is genuinely lost and must NOT be counted. For additive
+  // payloads (push-sum) every queued packet contributes its share. For the
+  // flow algorithms deliveries are absolute mirrors and per-directed-link
+  // FIFO makes them last-writer-wins: only the newest queued packet per link
+  // determines the receiver's eventual flow state, so only it carries mass.
+  std::map<std::pair<NodeId, NodeId>, const Event*> newest;
+  for (const Event& e : queue_.items()) {
+    if (e.kind != Event::Kind::kDelivery) continue;
+    if (dead_links_.count(norm_edge(e.a, e.b)) != 0 || !alive_[e.b]) continue;
+    if (nodes_[e.b]->in_flight_mass_accumulates()) {
+      core::Mass m = nodes_[e.b]->unreceived_mass(e.a, e.packet);
+      if (!m.is_zero()) masses.push_back(std::move(m));
+    } else {
+      const Event*& slot = newest[{e.a, e.b}];
+      if (slot == nullptr || e.seq > slot->seq) slot = &e;
+    }
   }
+  for (const auto& [link, event] : newest) {
+    core::Mass m = nodes_[event->b]->unreceived_mass(event->a, event->packet);
+    if (!m.is_zero()) masses.push_back(std::move(m));
+  }
+}
+
+void AsyncEngine::run_until(double time) {
+  {
+    const auto timer = perf_.time(PerfCounters::Phase::kEvents);
+    while (!queue_.empty() && queue_.top().time <= time) {
+      Event e = queue_.top();
+      queue_.pop();
+      now_ = e.time;
+      handle(e);
+      ++perf_.events_processed;
+    }
+  }
+  perf_.queue_reallocations = queue_.reallocations();
   now_ = std::max(now_, time);
   check_invariants_now();
 }

@@ -14,14 +14,15 @@
 
 #include <map>
 #include <memory>
-#include <queue>
 #include <set>
 #include <vector>
 
 #include "core/reducer.hpp"
+#include "sim/event_heap.hpp"
 #include "sim/faults.hpp"
 #include "sim/invariants.hpp"
 #include "sim/metrics.hpp"
+#include "support/perf.hpp"
 
 namespace pcf::sim {
 
@@ -38,11 +39,12 @@ struct AsyncEngineConfig {
 
 // A note on node crashes and the oracle: unlike the synchronous engine
 // (which processes faults at round boundaries when nothing is in flight), the
-// asynchronous network always has packets in transit. A crash therefore loses
-// in-flight mass, and the oracle's retarget — a snapshot of the survivors'
-// masses at detection time — approximates the eventual conserved value up to
-// the mass in flight at that instant. Tests assert consensus plus a bounded
-// bias for async crashes, and exact convergence for synchronous ones.
+// asynchronous network always has packets in transit. The oracle's retarget
+// therefore snapshots the survivors' local masses PLUS the mass still carried
+// by queued deliveries on live links (each receiver's unreceived_mass() —
+// additive shares for push-sum, last-writer-wins mirrors for the flow
+// algorithms). Without the in-flight term the target is biased by whatever
+// was on the wire at detection time — the historical bug this fixes.
 class AsyncEngine {
  public:
   /// The engine stores its own copy of the topology, so temporaries are safe.
@@ -68,6 +70,8 @@ class AsyncEngine {
   [[nodiscard]] double max_error(std::size_t k = 0) const;
   [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
   [[nodiscard]] bool node_alive(NodeId i) const { return alive_.at(i); }
+  /// Wall-clock / throughput counters (kEvents phase; see support/perf.hpp).
+  [[nodiscard]] const PerfCounters& perf() const noexcept { return perf_; }
 
   /// The invariant monitor, or nullptr when checking is disabled. Checks run
   /// at every run_until() boundary (there is no quiescent round boundary in
@@ -97,6 +101,9 @@ class AsyncEngine {
   void handle(const Event& e);
   void schedule_tick(NodeId node);
   void fail_link(NodeId a, NodeId b);
+  /// Appends the mass carried by queued deliveries on live links to `masses`
+  /// (the crash-retarget snapshot). See the class comment.
+  void append_in_flight_mass(std::vector<core::Mass>& masses) const;
 
   net::Topology topology_;
   AsyncEngineConfig config_;
@@ -107,13 +114,14 @@ class AsyncEngine {
   std::vector<bool> alive_;
   std::set<std::pair<NodeId, NodeId>> dead_links_;
   std::map<std::pair<NodeId, NodeId>, double> last_arrival_;  // FIFO clamp per directed link
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventHeap<Event, EventOrder> queue_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::size_t delivered_ = 0;
   bool pending_retarget_ = false;
   std::size_t pending_detects_ = 0;  // kDetect events scheduled but not handled
   std::unique_ptr<InvariantMonitor> monitor_;
+  PerfCounters perf_;
   std::size_t link_failures_fired_ = 0;
   std::size_t crashes_fired_ = 0;
   std::size_t data_updates_fired_ = 0;

@@ -38,7 +38,7 @@ struct SyncEngine::View final : SystemView {
                   plan.state_flip_prob > 0.0;
     f.any_bit_flips = plan.bit_flip_any_bit &&
                       (plan.bit_flip_prob > 0.0 || engine.stats_.messages_flipped > 0);
-    f.crash_settling = engine.pending_retarget_;
+    f.crash_settling = engine.pending_retarget_ || engine.retarget_after_wire_;
     f.link_failures = engine.next_link_failure_ + engine.explicit_link_failures_;
     f.crashes = engine.crashes_fired_;
     f.data_updates = engine.next_data_update_ + engine.explicit_data_updates_;
@@ -109,15 +109,16 @@ void SyncEngine::fail_link(NodeId a, NodeId b, double physical_time) {
 
 void SyncEngine::deliver_notifications_due() {
   const auto now = static_cast<double>(round_);
-  auto it = pending_notices_.begin();
-  while (it != pending_notices_.end()) {
-    if (it->due_time <= now) {
-      if (alive_[it->node]) nodes_[it->node]->on_link_down(it->peer);
-      it = pending_notices_.erase(it);
-    } else {
-      ++it;
-    }
+  // Notify, then compact with remove_if: the old erase-in-place loop was
+  // O(due × pending), quadratic when a hub crash floods pending_notices_
+  // (one notice per incident edge, all due the same round).
+  const auto due = [now](const PendingNotice& n) { return n.due_time <= now; };
+  for (const auto& n : pending_notices_) {
+    if (due(n) && alive_[n.node]) nodes_[n.node]->on_link_down(n.peer);
   }
+  pending_notices_.erase(
+      std::remove_if(pending_notices_.begin(), pending_notices_.end(), due),
+      pending_notices_.end());
 }
 
 void SyncEngine::process_due_faults() {
@@ -150,7 +151,17 @@ void SyncEngine::process_due_faults() {
   }
   deliver_notifications_due();
   if (pending_retarget_ && pending_notices_.empty()) {
-    oracle_.retarget(masses());
+    if (config_.delivery == Delivery::kSequential) {
+      // Nothing is ever in flight between rounds — the survivors' masses are
+      // the exact conserved total.
+      oracle_.retarget(masses());
+    } else {
+      // Crossing mode: last round's packets mirrored stale flows, so pairwise
+      // conservation (and with it the survivors' mass sum) is transiently
+      // broken at the round boundary. Defer the snapshot until this round's
+      // wire_ has drained, when the mirrors have re-synchronized.
+      retarget_after_wire_ = true;
+    }
     pending_retarget_ = false;
   }
 }
@@ -172,50 +183,70 @@ void SyncEngine::apply_data_update(NodeId node, const core::Mass& delta) {
 }
 
 std::size_t SyncEngine::step() {
-  process_due_faults();
+  {
+    const auto timer = perf_.time(PerfCounters::Phase::kFaults);
+    process_due_faults();
+  }
   ++round_;
 
   wire_.clear();
   auto& plan = config_.faults;
-  if (plan.state_flip_prob > 0.0) {
+  {
+    const auto timer = perf_.time(PerfCounters::Phase::kGossip);
+    if (plan.state_flip_prob > 0.0) {
+      for (NodeId i = 0; i < nodes_.size(); ++i) {
+        if (alive_[i] && fault_rng_.chance(plan.state_flip_prob)) {
+          if (nodes_[i]->corrupt_stored_flow(fault_rng_)) ++stats_.state_flips;
+        }
+      }
+    }
     for (NodeId i = 0; i < nodes_.size(); ++i) {
-      if (alive_[i] && fault_rng_.chance(plan.state_flip_prob)) {
-        if (nodes_[i]->corrupt_stored_flow(fault_rng_)) ++stats_.state_flips;
+      if (!alive_[i]) continue;
+      auto out = nodes_[i]->make_message(node_rngs_[i]);
+      if (!out) continue;
+      ++stats_.messages_sent;
+      stats_.doubles_sent += nodes_[i]->wire_masses() * (out->packet.a.dim() + 1);
+      // Transport faults, in physical order: a dead link transports nothing;
+      // a live link may drop or corrupt the packet.
+      if (dead_links_.count(norm_edge(i, out->to)) != 0 || !alive_[out->to]) {
+        ++stats_.messages_dropped;
+        continue;
+      }
+      if (plan.message_loss_prob > 0.0 && fault_rng_.chance(plan.message_loss_prob)) {
+        ++stats_.messages_dropped;
+        continue;
+      }
+      if (plan.bit_flip_prob > 0.0 && fault_rng_.chance(plan.bit_flip_prob)) {
+        flip_random_bit(out->packet, fault_rng_, plan.bit_flip_any_bit);
+        ++stats_.messages_flipped;
+      }
+      if (config_.delivery == Delivery::kSequential) {
+        nodes_[out->to]->on_receive(i, out->packet);
+        ++perf_.deliveries;
+      } else {
+        wire_.push_back({i, out->to, std::move(out->packet)});
       }
     }
   }
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
-    if (!alive_[i]) continue;
-    auto out = nodes_[i]->make_message(node_rngs_[i]);
-    if (!out) continue;
-    ++stats_.messages_sent;
-    stats_.doubles_sent += nodes_[i]->wire_masses() * (out->packet.a.dim() + 1);
-    // Transport faults, in physical order: a dead link transports nothing; a
-    // live link may drop or corrupt the packet.
-    if (dead_links_.count(norm_edge(i, out->to)) != 0 || !alive_[out->to]) {
-      ++stats_.messages_dropped;
-      continue;
-    }
-    if (plan.message_loss_prob > 0.0 && fault_rng_.chance(plan.message_loss_prob)) {
-      ++stats_.messages_dropped;
-      continue;
-    }
-    if (plan.bit_flip_prob > 0.0 && fault_rng_.chance(plan.bit_flip_prob)) {
-      flip_random_bit(out->packet, fault_rng_, plan.bit_flip_any_bit);
-      ++stats_.messages_flipped;
-    }
-    if (config_.delivery == Delivery::kSequential) {
-      nodes_[out->to]->on_receive(i, out->packet);
-    } else {
-      wire_.push_back({i, out->to, std::move(out->packet)});
+  {
+    // Crossing mode: delivery after all sends.
+    const auto timer = perf_.time(PerfCounters::Phase::kDelivery);
+    for (const auto& msg : wire_) {
+      if (!alive_[msg.to]) continue;
+      nodes_[msg.to]->on_receive(msg.from, msg.packet);
+      ++perf_.deliveries;
     }
   }
-  // Crossing mode: delivery after all sends.
-  for (const auto& msg : wire_) {
-    if (!alive_[msg.to]) continue;
-    nodes_[msg.to]->on_receive(msg.from, msg.packet);
+  if (retarget_after_wire_) {
+    // Deferred crash retarget (crossing mode): the wire has drained and every
+    // mirror is fresh again, so the survivors' mass sum is the true target.
+    oracle_.retarget(masses());
+    retarget_after_wire_ = false;
   }
   stats_.rounds = round_;
+  perf_.rounds = round_;
+  perf_.messages_sent = stats_.messages_sent;
+  perf_.doubles_on_wire = stats_.doubles_sent;
   check_invariants(/*force=*/false);
   return round_;
 }

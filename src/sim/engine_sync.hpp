@@ -21,6 +21,7 @@
 #include "sim/faults.hpp"
 #include "sim/invariants.hpp"
 #include "sim/metrics.hpp"
+#include "support/perf.hpp"
 
 namespace pcf::sim {
 
@@ -86,6 +87,8 @@ class SyncEngine {
   [[nodiscard]] std::size_t round() const noexcept { return round_; }
   [[nodiscard]] const Oracle& oracle() const noexcept { return oracle_; }
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+  /// Wall-clock per phase / throughput counters (see support/perf.hpp).
+  [[nodiscard]] const PerfCounters& perf() const noexcept { return perf_; }
   /// Live access to the fault model between steps. Only the probabilistic
   /// knobs (message_loss_prob, bit_flip_prob, bit_flip_any_bit) may be
   /// changed mid-run; the scheduled event lists are fixed at construction.
@@ -149,7 +152,12 @@ class SyncEngine {
   std::size_t next_data_update_ = 0;
   std::size_t round_ = 0;
   RunStats stats_;
+  PerfCounters perf_;
   bool pending_retarget_ = false;
+  /// Crossing mode only: all exclusion notices have fired but the retarget
+  /// must wait until the current round's wire_ has drained, so the snapshot
+  /// sees no crossing packets mid-flight. See step().
+  bool retarget_after_wire_ = false;
   std::unique_ptr<InvariantMonitor> monitor_;
   std::size_t explicit_link_failures_ = 0;  // via fail_link_now()
   std::size_t crashes_fired_ = 0;

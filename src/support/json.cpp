@@ -1,0 +1,149 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace pcf {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ += '\n';
+  out_.append(2 * scopes_.size(), ' ');
+}
+
+void JsonWriter::begin_value() {
+  if (scopes_.empty()) {
+    PCF_CHECK_MSG(out_.empty(), "JsonWriter: only one top-level value allowed");
+    return;
+  }
+  if (scopes_.back() == Scope::kObject) {
+    PCF_CHECK_MSG(pending_key_, "JsonWriter: value inside an object requires key()");
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  indent();
+}
+
+void JsonWriter::key(std::string_view name) {
+  PCF_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                "JsonWriter: key() outside an object");
+  PCF_CHECK_MSG(!pending_key_, "JsonWriter: key() after key()");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  indent();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  PCF_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject && !pending_key_,
+                "JsonWriter: end_object() without matching begin_object()");
+  const bool had_items = has_items_.back();
+  scopes_.pop_back();
+  has_items_.pop_back();
+  if (had_items) indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  PCF_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kArray,
+                "JsonWriter: end_array() without matching begin_array()");
+  const bool had_items = has_items_.back();
+  scopes_.pop_back();
+  has_items_.pop_back();
+  if (had_items) indent();
+  out_ += ']';
+}
+
+void JsonWriter::value(std::string_view s) {
+  begin_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+  begin_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  // %.17g never emits a locale decimal comma here because the bench tools run
+  // in the "C" locale (we never call setlocale).
+}
+
+void JsonWriter::value(std::int64_t v) {
+  begin_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+}
+
+const std::string& JsonWriter::str() const {
+  PCF_CHECK_MSG(scopes_.empty(), "JsonWriter: unterminated scopes");
+  return out_;
+}
+
+}  // namespace pcf

@@ -1,0 +1,62 @@
+// Minimal JSON emission for machine-readable benchmark output.
+//
+// BENCH_pcflow.json must be (a) valid JSON for external tooling and (b)
+// byte-deterministic for the CI drift check, so we write it ourselves instead
+// of going through locale-sensitive iostreams: fixed key order (caller
+// controlled), '.' decimal point, %.17g round-trip doubles, and "null" for
+// non-finite values (JSON has no inf/nan).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcf {
+
+/// Streaming writer producing pretty-printed (2-space indent) JSON. The
+/// caller opens/closes objects and arrays in order; the writer tracks nesting
+/// and comma placement. Misuse (closing the wrong scope, a value where a key
+/// is required) throws ContractViolation.
+class JsonWriter {
+ public:
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Starts `"key": ` inside an object; follow with a value or begin_*().
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void null();
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// The completed document. All scopes must be closed.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void begin_value();
+  void indent();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace pcf

@@ -1,0 +1,75 @@
+// Deterministic parallel execution of independent trials.
+//
+// The sweep and benchmark suites run many independent (scenario, seed) trials
+// whose results must be bit-identical whether they run serially or on all
+// cores. The recipe:
+//  * every trial derives all of its randomness from its own index (the caller
+//    seeds per-trial RNGs from the trial index, never from shared state);
+//  * each trial writes only its own result slot, so completion order cannot
+//    reorder results;
+//  * the worker pool hands out indices from an atomic counter — scheduling
+//    affects only timing, never values.
+// parallel_for_index(n, 1, fn) is exactly the serial loop, which is what the
+// determinism tests compare against.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcf {
+
+/// Number of worker threads to use for `requested` (0 = hardware concurrency),
+/// never more than `jobs`.
+[[nodiscard]] inline std::size_t resolve_thread_count(std::size_t requested,
+                                                      std::size_t jobs) noexcept {
+  std::size_t threads = requested;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > jobs) threads = jobs;
+  return threads == 0 ? 1 : threads;
+}
+
+/// Runs fn(i) for every i in [0, n) on up to `threads` workers (0 = hardware
+/// concurrency). Blocks until all calls finished. `fn` must be safe to call
+/// concurrently for distinct indices; the first exception thrown by any call
+/// is rethrown here (remaining indices are still drained, their results
+/// discarded by the throwing caller).
+template <typename Fn>
+void parallel_for_index(std::size_t n, std::size_t threads, Fn&& fn) {
+  if (n == 0) return;
+  threads = resolve_thread_count(threads, n);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pcf

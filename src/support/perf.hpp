@@ -1,0 +1,104 @@
+// Performance counters for the engines and the benchmark harness.
+//
+// Every engine owns one PerfCounters instance and charges wall-clock time
+// (std::chrono::steady_clock) to a fixed set of phases plus a handful of
+// monotone event counters: events processed, messages and payload doubles on
+// the wire, reallocations of the hot event queue. The bench subsystem reads
+// the counters after a run to derive rounds/sec and deliveries/sec — the
+// numbers every future optimisation PR is judged against (BENCH_pcflow.json).
+//
+// Design constraints:
+//  * hot-path cost is one steady_clock::now() pair per timed phase entry and
+//    plain increments for the counters — cheap enough to stay always-on;
+//  * fixed phase slots (no map lookups, no allocation) keep the timer
+//    branch-free and usable inside the engines' innermost loops;
+//  * the counters are plain values, so snapshotting/diffing is trivial.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace pcf {
+
+class PerfCounters {
+ public:
+  /// Phase slots. The engines charge to disjoint subsets:
+  ///  * SyncEngine:      kFaults (fault processing), kGossip (send loop),
+  ///                     kDelivery (crossing-mode wire drain);
+  ///  * AsyncEngine:     kEvents (event dispatch loop);
+  ///  * ThreadedRuntime: kRun (worker phase incl. join), kDrain (quiesce).
+  enum class Phase : std::size_t { kFaults, kGossip, kDelivery, kEvents, kRun, kDrain, kCount };
+  static constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+  [[nodiscard]] static std::string_view phase_name(Phase p) noexcept {
+    switch (p) {
+      case Phase::kFaults: return "faults";
+      case Phase::kGossip: return "gossip";
+      case Phase::kDelivery: return "delivery";
+      case Phase::kEvents: return "events";
+      case Phase::kRun: return "run";
+      case Phase::kDrain: return "drain";
+      case Phase::kCount: break;
+    }
+    return "?";
+  }
+
+  /// RAII phase timer; charges the elapsed time on destruction.
+  class ScopedTimer {
+   public:
+    ScopedTimer(PerfCounters& counters, Phase phase) noexcept
+        : counters_(counters), phase_(phase), start_(std::chrono::steady_clock::now()) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      counters_.add_seconds(phase_, std::chrono::duration<double>(elapsed).count());
+    }
+
+   private:
+    PerfCounters& counters_;
+    Phase phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  [[nodiscard]] ScopedTimer time(Phase phase) noexcept { return ScopedTimer(*this, phase); }
+
+  void add_seconds(Phase phase, double seconds) noexcept {
+    phase_seconds_[static_cast<std::size_t>(phase)] += seconds;
+  }
+  [[nodiscard]] double seconds(Phase phase) const noexcept {
+    return phase_seconds_[static_cast<std::size_t>(phase)];
+  }
+  /// Total wall-clock across all phases (phases are disjoint per engine).
+  [[nodiscard]] double total_seconds() const noexcept {
+    double total = 0.0;
+    for (double s : phase_seconds_) total += s;
+    return total;
+  }
+
+  // ---- monotone event counters (charged by the engines) ----
+  std::uint64_t events_processed = 0;    ///< async: events handled
+  std::uint64_t rounds = 0;              ///< sync: rounds stepped; runtime: gossip steps
+  std::uint64_t messages_sent = 0;       ///< packets put on the wire
+  std::uint64_t deliveries = 0;          ///< packets handed to on_receive
+  std::uint64_t doubles_on_wire = 0;     ///< payload doubles transmitted
+  std::uint64_t queue_reallocations = 0; ///< hot event-queue growth events
+
+  /// Throughput rates against the total charged wall-clock; 0 when no time
+  /// has been charged yet (so a fresh engine reports 0 instead of inf/NaN).
+  [[nodiscard]] double rounds_per_sec() const noexcept { return rate(rounds); }
+  [[nodiscard]] double deliveries_per_sec() const noexcept { return rate(deliveries); }
+  [[nodiscard]] double events_per_sec() const noexcept { return rate(events_processed); }
+
+ private:
+  [[nodiscard]] double rate(std::uint64_t count) const noexcept {
+    const double t = total_seconds();
+    return t > 0.0 ? static_cast<double>(count) / t : 0.0;
+  }
+
+  std::array<double, kPhaseCount> phase_seconds_{};
+};
+
+}  // namespace pcf

@@ -8,8 +8,16 @@
 //   pcflow --topology=torus3d:8 --algorithm=pf --aggregate=sum
 //          --loss=0.1 --epsilon=1e-12
 //   pcflow --topology=grid:8x8 --algorithm=pcf --update=100:3:5.0 --rounds=400
+//
+// The `bench` subcommand runs the standardized benchmark suite instead:
+//
+//   pcflow bench --suite=fast --out=BENCH_pcflow.json
+//   pcflow bench --suite=standard --threads=8
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
+#include "bench/bench.hpp"
 #include "core/reducer.hpp"
 #include "net/topology.hpp"
 #include "sim/engine_sync.hpp"
@@ -21,7 +29,51 @@
 namespace pcf {
 namespace {
 
+int run_bench_cli(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.define("suite", std::string("fast"), "scenario suite: fast | standard");
+  flags.define("fast", false, "shorthand for --suite=fast");
+  flags.define("seed", std::int64_t{1}, "suite RNG seed");
+  flags.define("threads", std::int64_t{1},
+               "parallel trial workers (0 = hardware concurrency); results are "
+               "identical for any value");
+  flags.define("out", std::string("BENCH_pcflow.json"), "output path ('-' = stdout only)");
+  flags.define("timing", true,
+               "include wall-clock fields (disable for byte-deterministic output)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::BenchOptions options;
+  options.suite = flags.get_bool("fast") ? "fast" : flags.get_string("suite");
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+  options.include_timing = flags.get_bool("timing");
+
+  const bench::BenchReport report = bench::run_bench(options);
+  const std::string json = bench::report_to_json(report);
+
+  const std::string& out = flags.get_string("out");
+  if (out == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    PCF_CHECK_MSG(file.good(), "bench: cannot open " << out << " for writing");
+    file << json;
+    PCF_CHECK_MSG(file.good(), "bench: write to " << out << " failed");
+    std::size_t converged = 0, trials = 0;
+    for (const auto& s : report.scenarios) {
+      converged += s.converged_trials;
+      trials += s.scenario.trials;
+    }
+    std::printf("pcflow bench: %zu scenarios (%zu/%zu trials converged) -> %s\n",
+                report.scenarios.size(), converged, trials, out.c_str());
+  }
+  return 0;
+}
+
 int run_cli(int argc, const char* const* argv) {
+  if (argc > 1 && std::strcmp(argv[1], "bench") == 0) {
+    return run_bench_cli(argc - 1, argv + 1);
+  }
   CliFlags flags;
   flags.define("topology", std::string("hypercube:6"),
                "bus:N ring:N grid:RxC torus2d:RxC torus3d:L hypercube:D complete:N star:N "

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "sim/metrics.hpp"
 #include "sim/reduce.hpp"
@@ -112,6 +113,34 @@ TEST(ThreadedRuntime, MoreThreadsThanNodesIsClamped) {
   rt.run(800);
   const sim::Oracle oracle(masses);
   for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-9);
+}
+
+TEST(ThreadedRuntime, FailLinkWhileWorkersRunIsCheckedIllegal) {
+  // Workers read dead_links_ without a lock, so fail_link during a run()
+  // phase would be a data race. The contract makes it checked-illegal: the
+  // call must throw while workers are up and succeed between phases.
+  const auto t = net::Topology::ring(8);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 9);
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.seed = 9;
+  ThreadedRuntime rt(t, masses, cfg);
+  EXPECT_FALSE(rt.workers_active());
+
+  // Enough steps that the phase comfortably outlasts the guarded call below
+  // (the call fires within microseconds of workers_active flipping true).
+  std::thread phase([&rt] { rt.run(20000); });
+  while (!rt.workers_active()) std::this_thread::yield();
+  EXPECT_THROW(rt.fail_link(0, 1), ContractViolation);
+  phase.join();
+  EXPECT_FALSE(rt.workers_active());
+
+  rt.fail_link(0, 1);  // between phases: legal, notifies both endpoints
+  EXPECT_EQ(rt.node(0).live_degree(), 1u);
+  EXPECT_EQ(rt.node(1).live_degree(), 1u);
+  rt.run(400);  // the runtime keeps working after the rejected call
+  const sim::Oracle oracle(masses);
+  for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-8);
 }
 
 TEST(Mailbox, PreservesFifoOrder) {

@@ -96,6 +96,33 @@ TEST(AsyncEngine, NodeCrashRetargetsOracleApproximately) {
   EXPECT_LT(engine.max_error(), 0.05);  // bounded bias vs the snapshot target
 }
 
+TEST(AsyncEngine, CrashRetargetIncludesInFlightMass) {
+  // Regression test for the in-flight-mass retarget bug: the old kDetect
+  // handler snapshotted only the survivors' local masses, missing the mass
+  // carried by kDelivery events still queued on live links. For push-sum
+  // (additive payloads) and push-flow (absolute last-writer-wins mirrors)
+  // the corrected snapshot is EXACT — once the queued packets land, the
+  // survivors conserve precisely the retargeted total — so consensus must
+  // match the oracle to near machine precision, not just the coarse
+  // in-flight-bias bound the PCF test above allows.
+  for (const auto algorithm : {Algorithm::kPushSum, Algorithm::kPushFlow}) {
+    // Dense graph + crash mid-gossip = plenty of packets in flight at the
+    // moment of the crash (seed 11 has in-flight mass on live links at t=5).
+    const auto t = net::Topology::complete(8);
+    FaultPlan faults;
+    faults.node_crashes.push_back({5.0, 3});
+    auto engine = make_async(t, algorithm, Aggregate::kAverage, 11, faults);
+    engine.run_until(6.0);
+    ASSERT_FALSE(engine.node_alive(3));
+    engine.run_until(2000.0);
+    const auto est = engine.estimates();
+    double spread = 0.0;
+    for (double v : est) spread = std::max(spread, std::abs(v - est[0]));
+    EXPECT_LT(spread, 1e-10) << core::to_string(algorithm);
+    EXPECT_LT(engine.max_error(), 1e-9) << core::to_string(algorithm);
+  }
+}
+
 TEST(AsyncEngine, DeterministicGivenSeed) {
   const auto t = net::Topology::ring(8);
   auto a = make_async(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 17);

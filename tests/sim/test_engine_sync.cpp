@@ -183,6 +183,64 @@ TEST(SyncEngine, CrossingModeStillConvergesForPushFlow) {
   EXPECT_LT(engine.max_error(), 1e-10);
 }
 
+TEST(SyncEngine, StarHubCrashFloodsNoticesAndRetargetsExactly) {
+  // A hub crash produces one exclusion notice per incident edge — 2(n−1)
+  // notices all due the same round, the worst case for the notification
+  // queue (its compaction used to be quadratic). All spokes must be
+  // notified, and the oracle must retarget to exactly the survivors' mass.
+  const auto t = net::Topology::star(24);
+  FaultPlan faults;
+  faults.node_crashes.push_back({6.0, 0});  // node 0 is the hub
+  faults.detection_delay = 2.0;
+  auto engine = make_engine(t, Algorithm::kPushCancelFlow, Aggregate::kAverage, 13, faults);
+  engine.run(6);
+  EXPECT_TRUE(engine.node_alive(0));
+  engine.run(1);  // round 7 fires the crash; notices due at round 8
+  EXPECT_FALSE(engine.node_alive(0));
+  EXPECT_EQ(engine.node(1).live_degree(), 1u);  // not yet notified
+  engine.run(2);
+  double survivor_mass = 0.0, survivor_weight = 0.0;
+  for (net::NodeId i = 1; i < t.size(); ++i) {
+    EXPECT_EQ(engine.node(i).live_degree(), 0u) << "spoke " << i << " missed its notice";
+    const auto m = engine.node(i).local_mass();
+    survivor_mass += m.s[0];
+    survivor_weight += m.w;
+  }
+  EXPECT_NEAR(engine.oracle().target(), survivor_mass / survivor_weight, 1e-12);
+}
+
+TEST(SyncEngine, CrossingModeCrashRetargetsAfterWireDrains) {
+  // In crossing mode a round's packets are all in flight together and mirror
+  // stale flows, so the survivors' mass sum at the round boundary right
+  // after a crash is transiently off. The retarget is deferred until the
+  // current round's wire has drained; survivors then reach consensus near
+  // the retargeted value.
+  const auto t = net::Topology::hypercube(4);
+  const auto values = test::random_values(t.size(), 21 ^ 0xabcdef);
+  auto masses = masses_from_values(values, Aggregate::kAverage);
+  SyncEngineConfig cfg;
+  cfg.algorithm = Algorithm::kPushFlow;
+  cfg.seed = 21;
+  cfg.delivery = Delivery::kCrossing;
+  cfg.faults.node_crashes.push_back({25.0, 5});
+  SyncEngine engine(t, masses, cfg);
+  const double before = engine.oracle().target();
+  engine.run(2000);
+  EXPECT_FALSE(engine.node_alive(5));
+  EXPECT_NE(engine.oracle().target(), before);
+  const auto est = engine.estimates();
+  double spread = 0.0;
+  for (double v : est) spread = std::max(spread, std::abs(v - est[0]));
+  EXPECT_LT(spread, 1e-10);  // consensus among survivors
+  // Any crossing-mode crash snapshot is an approximation: the crossing
+  // exchanges break exact pairwise flow antisymmetry mid-convergence, and
+  // absorbing the flows toward the dead node (when the delayed notices fire)
+  // shifts the survivors' conserved total slightly. Seed 21 lands at ~1.7e-3
+  // with the post-drain snapshot; the bound pins that the deferred retarget
+  // stays in that regime instead of diverging.
+  EXPECT_LT(engine.max_error(), 5e-3);
+}
+
 TEST(SyncEngine, DetectionDelayZeroMatchesPaperSetup) {
   // With zero delay the failure is handled in the round it occurs, which is
   // the paper's "failure handling takes place after N iterations".

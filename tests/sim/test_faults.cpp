@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <utility>
 
 namespace pcf::sim {
 namespace {
@@ -76,6 +80,60 @@ TEST(FlipRandomBit, IsDeterministicGivenRngState) {
   flip_random_bit(pb, b, false);
   EXPECT_EQ(pa.a, pb.a);
   EXPECT_EQ(pa.b, pb.b);
+}
+
+TEST(FlipRandomBit, SlotAndBitDistributionIsUniformWithinBounds) {
+  // The corruption model promises a uniformly random victim double (all six
+  // slots of a dim-2 packet) and, in default mode, bits confined to the
+  // mantissa (0..51) plus the sign (63) with uniform weight 1/53 each.
+  Rng rng(99);
+  constexpr int kTrials = 6000;
+  std::array<int, 6> slot_hits{};
+  std::array<int, 64> bit_hits{};
+  for (int trial = 0; trial < kTrials; ++trial) {
+    core::Packet clean = sample_packet();
+    core::Packet p = sample_packet();
+    flip_random_bit(p, rng, /*any_bit=*/false);
+    const std::array<std::pair<double, double>, 6> pairs{{
+        {clean.a.s[0], p.a.s[0]},
+        {clean.a.s[1], p.a.s[1]},
+        {clean.a.w, p.a.w},
+        {clean.b.s[0], p.b.s[0]},
+        {clean.b.s[1], p.b.s[1]},
+        {clean.b.w, p.b.w},
+    }};
+    for (std::size_t slot = 0; slot < pairs.size(); ++slot) {
+      std::uint64_t before = 0, after = 0;
+      std::memcpy(&before, &pairs[slot].first, sizeof before);
+      std::memcpy(&after, &pairs[slot].second, sizeof after);
+      const std::uint64_t diff = before ^ after;
+      if (diff == 0) continue;
+      ++slot_hits[slot];
+      ASSERT_EQ(diff & (diff - 1), 0u) << "more than one bit flipped";
+      int bit = 0;
+      while (((diff >> bit) & 1u) == 0) ++bit;
+      ASSERT_TRUE(bit <= 51 || bit == 63) << "exponent bit " << bit << " in default mode";
+      ++bit_hits[static_cast<std::size_t>(bit)];
+    }
+  }
+  // Each slot expects kTrials/6 = 1000 hits; allow a wide +-35% band (the
+  // binomial sigma is ~29, so this is > 10 sigma — deterministic seed, no
+  // flakes, still catches gross bias or a dead slot).
+  for (std::size_t slot = 0; slot < slot_hits.size(); ++slot) {
+    EXPECT_GT(slot_hits[slot], 650) << "slot " << slot;
+    EXPECT_LT(slot_hits[slot], 1350) << "slot " << slot;
+  }
+  // Each of the 53 eligible bits expects kTrials/53 ~ 113 hits.
+  int eligible_bits_hit = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if (bit <= 51 || bit == 63) {
+      if (bit_hits[static_cast<std::size_t>(bit)] > 0) ++eligible_bits_hit;
+      EXPECT_LT(bit_hits[static_cast<std::size_t>(bit)], 250) << "bit " << bit;
+    } else {
+      EXPECT_EQ(bit_hits[static_cast<std::size_t>(bit)], 0) << "bit " << bit;
+    }
+  }
+  EXPECT_GE(eligible_bits_hit, 50);  // near-complete coverage of the 53 bits
 }
 
 TEST(FaultPlan, EmptyDetection) {

@@ -1,0 +1,103 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace pcf {
+namespace {
+
+TEST(JsonWriter, GoldenSmallDocument) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("name", "bench");
+  json.field("count", std::int64_t{3});
+  json.key("values");
+  json.begin_array();
+  json.value(1.5);
+  json.value(false);
+  json.null();
+  json.end_array();
+  json.key("empty");
+  json.begin_object();
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"name\": \"bench\",\n"
+            "  \"count\": 3,\n"
+            "  \"values\": [\n"
+            "    1.5,\n"
+            "    false,\n"
+            "    null\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, DoublesRoundTripAt17Digits) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.1);
+  json.value(1.0 / 3.0);
+  json.end_array();
+  EXPECT_EQ(json.str(),
+            "[\n"
+            "  0.10000000000000001,\n"
+            "  0.33333333333333331\n"
+            "]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(json.str(),
+            "[\n"
+            "  null,\n"
+            "  null\n"
+            "]");
+}
+
+TEST(JsonWriter, ScalarTopLevelValueWorks) {
+  JsonWriter json;
+  json.value(std::uint64_t{42});
+  EXPECT_EQ(json.str(), "42");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), ContractViolation);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), ContractViolation);  // key inside array
+    EXPECT_THROW(json.end_object(), ContractViolation);
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), ContractViolation);  // unterminated scope
+  }
+  {
+    JsonWriter json;
+    json.value(1.0);
+    EXPECT_THROW(json.value(2.0), ContractViolation);  // two top-level values
+  }
+}
+
+}  // namespace
+}  // namespace pcf

@@ -1,0 +1,79 @@
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pcf {
+namespace {
+
+TEST(ResolveThreadCount, ClampsToJobsAndNeverReturnsZero) {
+  EXPECT_EQ(resolve_thread_count(4, 100), 4u);
+  EXPECT_EQ(resolve_thread_count(8, 3), 3u);   // never more workers than jobs
+  EXPECT_EQ(resolve_thread_count(1, 0), 1u);   // degenerate: no jobs
+  EXPECT_GE(resolve_thread_count(0, 16), 1u);  // 0 = hardware concurrency
+  EXPECT_LE(resolve_thread_count(0, 16), 16u);
+}
+
+TEST(ParallelForIndex, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for_index(kN, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForIndex, ThreadedMatchesSerialWhenSlotsAreIndependent) {
+  // The determinism recipe the bench runner relies on: each job derives its
+  // value from its index alone and writes only its own slot, so the result
+  // vector cannot depend on scheduling.
+  constexpr std::size_t kN = 200;
+  const auto fill = [](std::size_t threads) {
+    std::vector<std::uint64_t> out(kN, 0);
+    parallel_for_index(kN, threads, [&](std::size_t i) {
+      std::uint64_t v = 0x9e3779b97f4a7c15ULL * (i + 1);
+      for (int k = 0; k < 8; ++k) v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+      out[i] = v;
+    });
+    return out;
+  };
+  EXPECT_EQ(fill(1), fill(3));
+  EXPECT_EQ(fill(1), fill(0));  // hardware concurrency
+}
+
+TEST(ParallelForIndex, ZeroJobsIsANoOp) {
+  bool called = false;
+  parallel_for_index(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForIndex, RethrowsFirstExceptionAfterDrainingSerial) {
+  std::atomic<int> calls{0};
+  const auto run = [&] {
+    parallel_for_index(10, 1, [&](std::size_t i) {
+      calls.fetch_add(1);
+      if (i == 3) throw std::runtime_error("boom");
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+}
+
+TEST(ParallelForIndex, RethrowsExceptionFromWorkerThread) {
+  std::atomic<int> calls{0};
+  const auto run = [&] {
+    parallel_for_index(64, 4, [&](std::size_t i) {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      if (i == 20) throw std::runtime_error("boom");
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // Remaining indices are still drained before the rethrow.
+  EXPECT_EQ(calls.load(), 64);
+}
+
+}  // namespace
+}  // namespace pcf

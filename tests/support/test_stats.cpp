@@ -61,6 +61,34 @@ TEST(RunningStats, MergeWithEmptyIsNoop) {
   EXPECT_DOUBLE_EQ(a.mean(), 1.5);
 }
 
+TEST(RunningStats, MergeWithSelfDoublesEverything) {
+  // Aliased merge must read `other` before mutating `*this` — a natural use
+  // when folding a vector of partial stats that happens to include the
+  // accumulator itself.
+  RunningStats s;
+  for (double v : {1.0, 4.0, 7.0}) s.add(v);
+  const double mean = s.mean();
+  const double m2_variance = s.variance() * 2.0;  // m2 doubles, n-1: 2 -> 5
+  s.merge(s);
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_DOUBLE_EQ(s.sum(), 24.0);
+  EXPECT_NEAR(s.variance(), m2_variance * 2.0 / 5.0, 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, MergePropagatesInfinities) {
+  RunningStats a, b;
+  a.add(1.0);
+  b.add(std::numeric_limits<double>::infinity());
+  b.add(-std::numeric_limits<double>::infinity());
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(a.max(), std::numeric_limits<double>::infinity());
+}
+
 TEST(Quantile, MedianOfOddCount) {
   const std::vector<double> v{3.0, 1.0, 2.0};
   EXPECT_DOUBLE_EQ(median(v), 2.0);
@@ -75,6 +103,15 @@ TEST(Quantile, Extremes) {
   const std::vector<double> v{5.0, 1.0, 3.0};
   EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolationNearEndpoints) {
+  // pos = q * (n-1): the interpolation must clamp at the last element and be
+  // exactly linear within the first/last gap.
+  const std::vector<double> v{0.0, 10.0, 100.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 5.0);     // halfway into [0, 10]
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 55.0);    // halfway into [10, 100]
+  EXPECT_DOUBLE_EQ(quantile(v, 0.999), 100.0 - 0.002 * 90.0);
 }
 
 TEST(Quantile, SingleElement) {
