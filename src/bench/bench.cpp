@@ -51,6 +51,13 @@ sim::FaultPlan make_faults(const Scenario& s, const net::Topology& topology) {
     plan.link_failures.push_back({when, edges.front().first, edges.front().second});
     return plan;
   }
+  if (s.fault_profile == "churn") {
+    // Continuous fail/heal cycling: each live link fails with p = 0.002 per
+    // round and revives after a mean-20-round exponential outage.
+    plan.churn_fail_prob = 0.002;
+    plan.churn_heal_rate = 0.05;
+    return plan;
+  }
   PCF_CHECK_MSG(false, "bench: unknown fault profile '" << s.fault_profile << "'");
   return plan;
 }
@@ -132,6 +139,7 @@ std::vector<Scenario> make_suite(const std::string& name) {
     }
     add("pcf", "ring:16", "loss", 2, 1500);
     add("pcf", "ring:16", "crash", 2, 1500);
+    add("pcf", "ring:16", "churn", 2, 1500);
     add("ps", "ring:16", "none", 2, 1500);
     add("pf", "ring:16", "none", 2, 1500);
     add("fu", "ring:16", "none", 2, 1500);
@@ -144,7 +152,7 @@ std::vector<Scenario> make_suite(const std::string& name) {
     for (const char* topo : {"ring:32", "torus2d:6x6", "hypercube:5", "regular:32:4"}) {
       add("ps", topo, "none", 4, 4000);
       for (const char* algorithm : {"pf", "pcf", "fu"}) {
-        for (const char* profile : {"none", "loss", "crash", "linkfail"}) {
+        for (const char* profile : {"none", "loss", "crash", "linkfail", "churn"}) {
           add(algorithm, topo, profile, 4, 4000);
         }
       }

@@ -28,7 +28,8 @@ namespace pcf::bench {
 
 /// One benchmark cell. `fault_profile` is one of "none" (fault-free), "loss"
 /// (10% message loss), "crash" (one node crash at max_rounds/4), "linkfail"
-/// (one link cut at max_rounds/4).
+/// (one link cut at max_rounds/4), "churn" (continuous link fail/heal
+/// cycling: p=0.002 per link per round, mean-20-round outages).
 struct Scenario {
   std::string name;        ///< unique id, e.g. "pcf/ring:16/crash"
   std::string algorithm;   ///< ps | pf | pcf | fu

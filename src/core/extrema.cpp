@@ -51,6 +51,11 @@ void ExtremaGossip::on_link_down(NodeId j) {
   (void)neighbors_.mark_dead(j);
 }
 
+void ExtremaGossip::on_link_up(NodeId j) {
+  // Monotone merges make recovery trivial: resume gossiping with j.
+  (void)neighbors_.mark_alive(j);
+}
+
 void ExtremaGossip::update_data(const Mass& delta) {
   PCF_CHECK_MSG(initialized_, "update_data before init");
   PCF_CHECK_MSG(delta.dim() == 1, "extrema update takes a scalar sample");

@@ -37,6 +37,7 @@ class ExtremaGossip final : public Reducer {
   /// (min, max) as a dim-2 pseudo-mass with weight 1.
   [[nodiscard]] Mass local_mass() const override;
   void on_link_down(NodeId j) override;
+  void on_link_up(NodeId j) override;
   /// A new sample merges into the extrema (it can widen them, never shrink).
   void update_data(const Mass& delta) override;
   [[nodiscard]] std::string_view name() const noexcept override { return "extrema-gossip"; }

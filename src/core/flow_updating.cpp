@@ -94,6 +94,15 @@ void FlowUpdating::on_link_down(NodeId j) {
   have_estimate_[*slot] = false;
 }
 
+void FlowUpdating::on_link_up(NodeId j) {
+  const auto slot = neighbors_.mark_alive(j);
+  if (!slot) return;
+  // Blank edge: no flow routed, no neighbor estimate until the next packet.
+  flows_[*slot].set_zero();
+  estimates_[*slot].set_zero();
+  have_estimate_[*slot] = false;
+}
+
 bool FlowUpdating::corrupt_stored_flow(Rng& rng) {
   PCF_CHECK_MSG(initialized_, "corrupt_stored_flow before init");
   const auto slot = static_cast<std::size_t>(rng.below(flows_.size()));

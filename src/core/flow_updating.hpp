@@ -41,6 +41,7 @@ class FlowUpdating final : public Reducer {
   /// Fused neighborhood estimate ratio (a_i), not the raw mass ratio.
   [[nodiscard]] double estimate(std::size_t k = 0) const override;
   void on_link_down(NodeId j) override;
+  void on_link_up(NodeId j) override;
   void update_data(const Mass& delta) override;
   [[nodiscard]] std::string_view name() const noexcept override { return "flow-updating"; }
   [[nodiscard]] std::size_t live_degree() const noexcept override {

@@ -53,6 +53,18 @@ class NeighborSet {
     return slot;
   }
 
+  /// Marks neighbor j alive again (link heal / rejoin); returns its slot if
+  /// it was dead, nullopt if it was unknown or already alive (duplicate
+  /// recovery notifications are benign). live_ stays sorted, so pick_live
+  /// sampling is deterministic regardless of the heal order.
+  std::optional<std::size_t> mark_alive(net::NodeId j) {
+    const auto slot = slot_of(j);
+    if (!slot || alive_[*slot]) return std::nullopt;
+    alive_[*slot] = true;
+    live_.insert(std::lower_bound(live_.begin(), live_.end(), j), j);
+    return slot;
+  }
+
  private:
   std::vector<net::NodeId> ids_;  // sorted
   std::vector<bool> alive_;

@@ -228,6 +228,22 @@ void PushCancelFlow::on_link_down(NodeId j) {
   }
 }
 
+void PushCancelFlow::on_link_up(NodeId j) {
+  const auto slot = neighbors_.mark_alive(j);
+  if (!slot) return;
+  // Re-admit with a factory-fresh edge: zero flows, slot 1 active, cycle 0.
+  // Both endpoints get their own on_link_up, so the handshake restarts
+  // aligned in a steady phase. ϕ needs no adjustment in either variant: the
+  // dying flows were folded out on exclusion, and a soft error hitting the
+  // dormant slot never entered ϕ (mirror_slot only runs on live edges).
+  EdgeState& edge = edges_[*slot];
+  edge.flow[0].set_zero();
+  edge.flow[1].set_zero();
+  edge.active = 0;
+  edge.cycle = 0;
+  edge.pending_absorbed.set_zero();
+}
+
 bool PushCancelFlow::corrupt_stored_flow(Rng& rng) {
   PCF_CHECK_MSG(initialized_, "corrupt_stored_flow before init");
   const auto edge_index = static_cast<std::size_t>(rng.below(edges_.size()));

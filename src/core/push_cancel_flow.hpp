@@ -74,6 +74,7 @@ class PushCancelFlow final : public Reducer {
   void on_receive(NodeId from, const Packet& packet) override;
   [[nodiscard]] Mass local_mass() const override;
   void on_link_down(NodeId j) override;
+  void on_link_up(NodeId j) override;
   void update_data(const Mass& delta) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return config_.pcf_variant == PcfVariant::kFast ? "push-cancel-flow/fast"

@@ -86,6 +86,15 @@ void PushFlow::on_link_down(NodeId j) {
   flows_[*slot].set_zero();
 }
 
+void PushFlow::on_link_up(NodeId j) {
+  const auto slot = neighbors_.mark_alive(j);
+  if (!slot) return;
+  // Re-admit with a blank edge. The slot was zeroed on exclusion (and the
+  // cached sum adjusted then); re-zero in case a memory soft error hit the
+  // dormant slot in between — the cache never saw that corruption either.
+  flows_[*slot].set_zero();
+}
+
 bool PushFlow::corrupt_stored_flow(Rng& rng) {
   PCF_CHECK_MSG(initialized_, "corrupt_stored_flow before init");
   const auto slot = static_cast<std::size_t>(rng.below(flows_.size()));

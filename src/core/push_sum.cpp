@@ -60,4 +60,9 @@ void PushSum::on_link_down(NodeId j) {
   (void)neighbors_.mark_dead(j);
 }
 
+void PushSum::on_link_up(NodeId j) {
+  // No per-edge state to rebuild; just start selecting the neighbor again.
+  (void)neighbors_.mark_alive(j);
+}
+
 }  // namespace pcf::core

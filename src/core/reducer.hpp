@@ -109,6 +109,15 @@ class Reducer {
   /// reducer excludes j from the computation (PF/PCF: zero the edge flows).
   virtual void on_link_down(NodeId j) = 0;
 
+  /// Recovery callback: the link to `j` (previously reported down) works
+  /// again — a healed link, a rejoined neighbor, or a failure-detector false
+  /// positive clearing. The reducer re-admits j with a blank edge: zeroed
+  /// flows (the exclusion rule run in reverse; the flow state both ends held
+  /// before the outage is stale and was already folded into the local masses
+  /// by on_link_down). Duplicate notifications are benign no-ops, as is a
+  /// notification for a neighbor that was never excluded.
+  virtual void on_link_up(NodeId j) { (void)j; }
+
   /// Live data update (LiMoSense-style dynamic monitoring): the node's input
   /// changes by `delta` mid-computation. Flow-based algorithms support this
   /// naturally — the initial data is separate state from the flows, so the

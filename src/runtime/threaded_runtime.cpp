@@ -93,6 +93,15 @@ void ThreadedRuntime::fail_link(net::NodeId a, net::NodeId b) {
   nodes_[b]->on_link_down(a);
 }
 
+void ThreadedRuntime::heal_link(net::NodeId a, net::NodeId b) {
+  // Same contract as fail_link: dead_links_ is read lock-free by workers.
+  PCF_CHECK_MSG(!workers_active(), "heal_link while a run() phase is active");
+  PCF_CHECK_MSG(topology_.has_edge(a, b), "heal_link: no such link");
+  if (dead_links_.erase(norm_edge(a, b)) == 0) return;
+  nodes_[a]->on_link_up(b);
+  nodes_[b]->on_link_up(a);
+}
+
 std::vector<double> ThreadedRuntime::estimates(std::size_t k) const {
   std::vector<double> out;
   out.reserve(nodes_.size());

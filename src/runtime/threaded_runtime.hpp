@@ -52,6 +52,11 @@ class ThreadedRuntime {
   /// ContractViolation instead of racing.
   void fail_link(net::NodeId a, net::NodeId b);
 
+  /// Heals a previously failed link: both endpoints re-admit the neighbor
+  /// (Reducer::on_link_up) with zeroed flows. Same phase-boundary contract as
+  /// fail_link — throws ContractViolation while workers are active.
+  void heal_link(net::NodeId a, net::NodeId b);
+
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::vector<double> estimates(std::size_t k = 0) const;
   [[nodiscard]] core::Mass total_mass() const;

@@ -31,19 +31,21 @@ std::string format_prob(double v) {
   return os.str();
 }
 
-double latest_event_time(const FaultPlan& plan) {
-  double latest = 0.0;
-  for (const auto& e : plan.link_failures) latest = std::max(latest, e.time);
-  for (const auto& e : plan.node_crashes) latest = std::max(latest, e.time);
-  for (const auto& e : plan.data_updates) latest = std::max(latest, e.time);
-  return latest;
-}
-
 }  // namespace
 
 bool algorithm_trusted(core::Algorithm algorithm, const FaultPlan& plan) {
   if (plan.bit_flip_prob > 0.0 || plan.state_flip_prob > 0.0) return false;
   if (algorithm == core::Algorithm::kPushSum) return plan.empty();
+  if (algorithm == core::Algorithm::kPushCancelFlow &&
+      (!plan.false_detects.empty() || plan.churn_fail_prob > 0.0)) {
+    // Repeated (or falsely detected) link exclusions can interrupt PCF
+    // cancellation handshakes mid-transition; each interruption biases the
+    // conserved mass by up to one in-flight flow (the two-generals window,
+    // see push_cancel_flow.hpp), so PCF's consensus legitimately deviates
+    // from the exact reference. PF and FU exclusions are exactly symmetric
+    // and stay conservative.
+    return false;
+  }
   return true;  // the flow algorithms self-heal loss, exclusions, and updates
 }
 
@@ -56,9 +58,18 @@ std::string repro_command(const DifferentialScenario& scenario, core::Algorithm 
   if (plan.message_loss_prob > 0.0) os << " --loss=" << format_prob(plan.message_loss_prob);
   if (plan.bit_flip_prob > 0.0) os << " --flip=" << format_prob(plan.bit_flip_prob);
   if (plan.detection_delay > 0.0) os << " --detection-delay=" << format_prob(plan.detection_delay);
+  if (plan.duplicate_prob > 0.0) os << " --duplicate=" << format_prob(plan.duplicate_prob);
+  if (plan.reorder_prob > 0.0) os << " --reorder=" << format_prob(plan.reorder_prob);
+  if (plan.churn_fail_prob > 0.0) os << " --churn-fail=" << format_prob(plan.churn_fail_prob);
+  if (plan.churn_heal_rate > 0.0) os << " --churn-heal=" << format_prob(plan.churn_heal_rate);
   if (!plan.link_failures.empty()) os << " --link-fail=" << format_link_failures(plan.link_failures);
   if (!plan.node_crashes.empty()) os << " --crash=" << format_node_crashes(plan.node_crashes);
   if (!plan.data_updates.empty()) os << " --update=" << format_data_updates(plan.data_updates);
+  if (!plan.link_heals.empty()) os << " --link-heal=" << format_link_heals(plan.link_heals);
+  if (!plan.node_rejoins.empty()) os << " --rejoin=" << format_node_rejoins(plan.node_rejoins);
+  if (!plan.false_detects.empty()) {
+    os << " --false-detect=" << format_false_detects(plan.false_detects);
+  }
   return os.str();
 }
 
@@ -79,12 +90,14 @@ DifferentialResult run_differential(const DifferentialScenario& scenario,
   for (auto& v : values) v = data_rng.uniform();
   const auto masses = masses_from_values(values, scenario.aggregate);
 
-  // With a crash, each algorithm's oracle retargets from ITS OWN survivors'
-  // masses at detection time — the exact aggregates legitimately differ, so
-  // only per-algorithm convergence and consensus are comparable.
-  const bool comparable_targets = scenario.faults.node_crashes.empty();
+  // With a crash (or rejoin — which also retargets), each algorithm's oracle
+  // retargets from ITS OWN survivors' masses at detection time — the exact
+  // aggregates legitimately differ, so only per-algorithm convergence and
+  // consensus are comparable.
+  const bool comparable_targets =
+      scenario.faults.node_crashes.empty() && scenario.faults.node_rejoins.empty();
   const auto settle =
-      static_cast<std::size_t>(latest_event_time(scenario.faults)) + 10;
+      static_cast<std::size_t>(scenario.faults.latest_event_time()) + 10;
   PCF_CHECK_MSG(settle < scenario.max_rounds,
                 "scenario max_rounds must exceed the last fault event");
 
@@ -161,9 +174,17 @@ DifferentialResult run_differential(const DifferentialScenario& scenario,
     repro.add_row({"loss", format_prob(scenario.faults.message_loss_prob)});
     repro.add_row({"flip", format_prob(scenario.faults.bit_flip_prob)});
     repro.add_row({"detection_delay", format_prob(scenario.faults.detection_delay)});
+    repro.add_row({"duplicate", format_prob(scenario.faults.duplicate_prob)});
+    repro.add_row({"reorder", format_prob(scenario.faults.reorder_prob)});
+    repro.add_row({"reorder_jitter", format_prob(scenario.faults.reorder_jitter)});
+    repro.add_row({"churn_fail", format_prob(scenario.faults.churn_fail_prob)});
+    repro.add_row({"churn_heal", format_prob(scenario.faults.churn_heal_rate)});
     repro.add_row({"link_failures", format_link_failures(scenario.faults.link_failures)});
     repro.add_row({"node_crashes", format_node_crashes(scenario.faults.node_crashes)});
     repro.add_row({"data_updates", format_data_updates(scenario.faults.data_updates)});
+    repro.add_row({"link_heals", format_link_heals(scenario.faults.link_heals)});
+    repro.add_row({"node_rejoins", format_node_rejoins(scenario.faults.node_rejoins)});
+    repro.add_row({"false_detects", format_false_detects(scenario.faults.false_detects)});
     repro.add_row({"reference", Table::sci(result.reference, 17)});
     for (const auto& line : result.divergences) repro.add_row({"divergence", line});
     for (const auto& outcome : result.outcomes) {

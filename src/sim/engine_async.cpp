@@ -35,6 +35,11 @@ struct AsyncEngine::View final : SystemView {
     f.link_failures = engine.link_failures_fired_;
     f.crashes = engine.crashes_fired_;
     f.data_updates = engine.data_updates_fired_;
+    f.link_heals = engine.link_heals_fired_;
+    f.rejoins = engine.rejoins_fired_;
+    f.false_detects = engine.false_detects_fired_;
+    f.false_clears = engine.false_clears_fired_;
+    f.messages_duplicated = engine.duplicates_injected_;
     return f;
   }
   const AsyncEngine& engine;
@@ -46,12 +51,15 @@ void AsyncEngine::check_invariants_now() {
   monitor_->check(view);
 }
 
+FaultExposure AsyncEngine::fault_exposure() const { return View(*this).faults(); }
+
 AsyncEngine::AsyncEngine(net::Topology topology, std::span<const core::Mass> initial,
                          AsyncEngineConfig config)
     : topology_(topology),
       config_(std::move(config)),
       net_rng_(Rng(config_.seed).fork(topology.size() + 7)),
-      oracle_(initial) {
+      oracle_(initial),
+      initial_(initial.begin(), initial.end()) {
   PCF_CHECK_MSG(initial.size() == topology.size(), "one initial mass per node required");
   PCF_CHECK_MSG(config_.tick_rate > 0.0, "tick_rate must be positive");
   PCF_CHECK_MSG(config_.latency_min >= 0.0 && config_.latency_max >= config_.latency_min,
@@ -76,9 +84,31 @@ AsyncEngine::AsyncEngine(net::Topology topology, std::span<const core::Mass> ini
   }
   for (const auto& u : config_.faults.data_updates) {
     PCF_CHECK_MSG(u.node < topology.size(), "fault plan: data update node out of range");
-    Event e{u.time, Event::Kind::kDataUpdate, u.node, 0, 0, {}};
+    Event e{u.time, Event::Kind::kDataUpdate, u.node, 0, 0, 0.0, {}};
     e.packet.a = u.delta;  // carry the delta in the payload slot
     push(std::move(e));
+  }
+  for (const auto& h : config_.faults.link_heals) {
+    PCF_CHECK_MSG(topology.has_edge(h.a, h.b), "fault plan: heal for unknown link");
+    push({h.time, Event::Kind::kLinkHeal, h.a, h.b, 0, 0.0, {}});
+  }
+  for (const auto& r : config_.faults.node_rejoins) {
+    PCF_CHECK_MSG(r.node < topology.size(), "fault plan: rejoin node out of range");
+    push({r.time, Event::Kind::kRejoin, r.node, 0, 0, 0.0, {}});
+  }
+  for (const auto& d : config_.faults.false_detects) {
+    PCF_CHECK_MSG(topology.has_edge(d.a, d.b), "fault plan: false detect on unknown link");
+    PCF_CHECK_MSG(d.clear_delay >= 0.0, "fault plan: negative false-detect clear delay");
+    push({d.time, Event::Kind::kFalseDetect, d.a, d.b, 0, d.clear_delay, {}});
+  }
+  // Churn: every link carries an independent Exp(churn_fail_prob) failure
+  // clock. A fired clock that finds its link already dead ends the chain;
+  // the heal (or rejoin) that revives the link starts a fresh one.
+  if (config_.faults.churn_fail_prob > 0.0) {
+    for (const auto& [a, b] : topology.edges()) {
+      push({net_rng_.exponential(config_.faults.churn_fail_prob), Event::Kind::kChurnFail, a, b,
+            0, 0.0, {}});
+    }
   }
 
   if (config_.invariants.resolve_enabled()) {
@@ -97,12 +127,54 @@ void AsyncEngine::schedule_tick(NodeId node) {
   push({now_ + dt, Event::Kind::kTick, node, 0, 0, {}});
 }
 
-void AsyncEngine::fail_link(NodeId a, NodeId b) {
-  if (!dead_links_.insert(norm_edge(a, b)).second) return;
+void AsyncEngine::fail_link(NodeId a, NodeId b, bool independent) {
+  const auto edge = norm_edge(a, b);
+  if (!dead_links_.insert(edge).second) return;
+  if (independent) cut_links_.insert(edge);
+  falsely_excluded_.erase(edge);  // a real failure supersedes a false positive
   const double due = now_ + config_.faults.detection_delay;
-  push({due, Event::Kind::kDetect, a, b, 0, {}});
-  push({due, Event::Kind::kDetect, b, a, 0, {}});
+  push({due, Event::Kind::kDetect, a, b, 0, 0.0, {}});
+  push({due, Event::Kind::kDetect, b, a, 0, 0.0, {}});
   pending_detects_ += 2;
+  // Churn heal: independent failures between live nodes come back after an
+  // exponentially distributed outage. Crash-induced failures are owned by the
+  // rejoin event instead.
+  if (independent && config_.faults.churn_heal_rate > 0.0 && alive_[a] && alive_[b]) {
+    push({now_ + net_rng_.exponential(config_.faults.churn_heal_rate), Event::Kind::kLinkHeal, a,
+          b, 0, 0.0, {}});
+  }
+}
+
+bool AsyncEngine::revive_link(NodeId a, NodeId b) {
+  const auto edge = norm_edge(a, b);
+  if (dead_links_.erase(edge) == 0) return false;
+  cut_links_.erase(edge);
+  ++link_heals_fired_;
+  // Packets queued while the cable was cut were physically lost; remember the
+  // heal epoch so kDelivery (and the in-flight mass snapshot) drop them.
+  heal_seq_[edge] = seq_;
+  const double due = now_ + config_.faults.detection_delay;
+  push({due, Event::Kind::kDetectUp, a, b, 0, 0.0, {}});
+  push({due, Event::Kind::kDetectUp, b, a, 0, 0.0, {}});
+  if (config_.faults.churn_fail_prob > 0.0) {
+    push({now_ + net_rng_.exponential(config_.faults.churn_fail_prob), Event::Kind::kChurnFail, a,
+          b, 0, 0.0, {}});
+  }
+  return true;
+}
+
+void AsyncEngine::retarget_now() {
+  std::vector<core::Mass> current;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) current.push_back(nodes_[i]->local_mass());
+  }
+  append_in_flight_mass(current);
+  oracle_.retarget(current);
+}
+
+bool AsyncEngine::stale_delivery(const Event& e) const {
+  const auto it = heal_seq_.find(norm_edge(e.a, e.b));
+  return it != heal_seq_.end() && e.seq < it->second;
 }
 
 void AsyncEngine::handle(const Event& e) {
@@ -125,20 +197,35 @@ void AsyncEngine::handle(const Event& e) {
         flip_random_bit(packet, net_rng_, plan.bit_flip_any_bit);
       }
       double arrival = now_ + net_rng_.uniform(config_.latency_min, config_.latency_max);
-      // FIFO per directed link: never deliver before an earlier packet on the
-      // same link (the tiny epsilon keeps arrivals strictly ordered).
-      auto& last = last_arrival_[{i, out->to}];
-      arrival = std::max(arrival, last + 1e-9);
-      last = arrival;
+      const bool reordered = plan.reorder_prob > 0.0 && net_rng_.chance(plan.reorder_prob);
+      if (reordered) {
+        // Adversarial delivery: delay the packet past the FIFO clamp without
+        // advancing it, so later sends on the link can legitimately overtake.
+        arrival += net_rng_.uniform(0.0, plan.reorder_jitter);
+      } else {
+        // FIFO per directed link: never deliver before an earlier packet on
+        // the same link (the tiny epsilon keeps arrivals strictly ordered).
+        auto& last = last_arrival_[{i, out->to}];
+        arrival = std::max(arrival, last + 1e-9);
+        last = arrival;
+      }
       ++perf_.messages_sent;
       perf_.doubles_on_wire += nodes_[i]->wire_masses() * (packet.a.dim() + 1);
-      push({arrival, Event::Kind::kDelivery, i, out->to, 0, std::move(packet)});
+      if (plan.duplicate_prob > 0.0 && net_rng_.chance(plan.duplicate_prob)) {
+        ++duplicates_injected_;
+        Event dup{arrival + 1e-9, Event::Kind::kDelivery, i, out->to, 0, 0.0, packet};
+        if (!reordered) last_arrival_[{i, out->to}] = dup.time;
+        push(std::move(dup));
+      }
+      push({arrival, Event::Kind::kDelivery, i, out->to, 0, 0.0, std::move(packet)});
       return;
     }
     case Event::Kind::kDelivery: {
       // A packet already in flight when its link died is lost, matching a
-      // physical cable cut rather than a graceful shutdown.
+      // physical cable cut rather than a graceful shutdown; one queued before
+      // the link's last heal died with the outage (stale_delivery).
       if (dead_links_.count(norm_edge(e.a, e.b)) != 0 || !alive_[e.b]) return;
+      if (stale_delivery(e)) return;
       nodes_[e.b]->on_receive(e.a, e.packet);
       ++delivered_;
       ++perf_.deliveries;
@@ -146,14 +233,85 @@ void AsyncEngine::handle(const Event& e) {
     }
     case Event::Kind::kLinkFailure:
       ++link_failures_fired_;
-      fail_link(e.a, e.b);
+      fail_link(e.a, e.b, /*independent=*/true);
       return;
+    case Event::Kind::kChurnFail: {
+      const auto edge = norm_edge(e.a, e.b);
+      // A dead link (or endpoint) ends this chain; revive_link starts a new one.
+      if (!alive_[e.a] || !alive_[e.b] || dead_links_.count(edge) != 0) return;
+      ++link_failures_fired_;
+      fail_link(e.a, e.b, /*independent=*/true);
+      return;
+    }
     case Event::Kind::kCrash: {
       if (!alive_[e.a]) return;
       alive_[e.a] = false;
       ++crashes_fired_;
-      for (const NodeId peer : topology_.neighbors(e.a)) fail_link(e.a, peer);
+      for (const NodeId peer : topology_.neighbors(e.a)) {
+        fail_link(e.a, peer, /*independent=*/false);
+      }
       pending_retarget_ = true;
+      return;
+    }
+    case Event::Kind::kRejoin: {
+      const NodeId i = e.a;
+      if (alive_[i]) return;
+      alive_[i] = true;
+      ++rejoins_fired_;
+      // Fresh state: the node restarts from its initial input, as a machine
+      // rebooted from its local data would.
+      nodes_[i] = core::make_reducer(config_.algorithm, config_.reducer);
+      nodes_[i]->init(i, topology_.neighbors(i), initial_[i]);
+      for (const NodeId peer : topology_.neighbors(i)) {
+        const auto edge = norm_edge(i, peer);
+        if (!alive_[peer] || cut_links_.count(edge) != 0) {
+          // The peer is down, or the cable failed independently of the crash
+          // and is still cut — exclude it immediately.
+          nodes_[i]->on_link_down(peer);
+          continue;
+        }
+        (void)revive_link(i, peer);
+      }
+      schedule_tick(i);  // the crash orphaned the node's tick chain — restart it
+      // The returning mass re-enters the computation: retarget immediately
+      // (stale in-flight packets on the revived links are excluded by the
+      // heal-epoch filter inside append_in_flight_mass).
+      retarget_now();
+      return;
+    }
+    case Event::Kind::kLinkHeal: {
+      if (!alive_[e.a] || !alive_[e.b]) return;  // rejoin owns crashed ends
+      (void)revive_link(e.a, e.b);
+      return;
+    }
+    case Event::Kind::kDetectUp: {
+      // Report "up" only if the link did not die again during the delay.
+      if (alive_[e.a] && dead_links_.count(norm_edge(e.a, e.b)) == 0) {
+        nodes_[e.a]->on_link_up(e.b);
+      }
+      return;
+    }
+    case Event::Kind::kFalseDetect: {
+      const auto edge = norm_edge(e.a, e.b);
+      // Only a live link between live nodes can be *falsely* suspected.
+      if (!alive_[e.a] || !alive_[e.b] || dead_links_.count(edge) != 0) return;
+      if (!falsely_excluded_.insert(edge).second) return;
+      ++false_detects_fired_;
+      // Both detectors report the link down; transport stays up, so packets
+      // already in flight still arrive (and are dropped by the reducers).
+      nodes_[e.a]->on_link_down(e.b);
+      nodes_[e.b]->on_link_down(e.a);
+      push({now_ + e.aux, Event::Kind::kFalseClear, e.a, e.b, 0, 0.0, {}});
+      return;
+    }
+    case Event::Kind::kFalseClear: {
+      const auto edge = norm_edge(e.a, e.b);
+      if (falsely_excluded_.erase(edge) == 0) return;  // superseded by a real failure
+      if (alive_[e.a] && alive_[e.b] && dead_links_.count(edge) == 0) {
+        ++false_clears_fired_;
+        nodes_[e.a]->on_link_up(e.b);
+        nodes_[e.b]->on_link_up(e.a);
+      }
       return;
     }
     case Event::Kind::kDataUpdate: {
@@ -167,19 +325,18 @@ void AsyncEngine::handle(const Event& e) {
     }
     case Event::Kind::kDetect: {
       --pending_detects_;
-      if (alive_[e.a]) nodes_[e.a]->on_link_down(e.b);
+      // Skip the report if the link healed (or the node rejoined and revived
+      // it) while the detector was still counting down.
+      if (alive_[e.a] && dead_links_.count(norm_edge(e.a, e.b)) != 0) {
+        nodes_[e.a]->on_link_down(e.b);
+      }
       if (pending_retarget_) {
-        std::vector<core::Mass> current;
-        for (NodeId i = 0; i < nodes_.size(); ++i) {
-          if (alive_[i]) current.push_back(nodes_[i]->local_mass());
-        }
         // Survivors' local masses alone miss whatever is still on the wire
-        // between live nodes; fold the queued deliveries in so the target is
-        // the mass the system will actually conserve once they land.
-        append_in_flight_mass(current);
-        oracle_.retarget(current);
-        // Retarget on every detect while a crash settles; the final detect
-        // leaves the correct conserved target and ends the settling window.
+        // between live nodes; retarget_now() folds the queued deliveries in so
+        // the target is the mass the system will actually conserve once they
+        // land. Retarget on every detect while a crash settles; the final
+        // detect leaves the correct conserved target and ends the window.
+        retarget_now();
         if (pending_detects_ == 0) pending_retarget_ = false;
       }
       return;
@@ -198,6 +355,7 @@ void AsyncEngine::append_in_flight_mass(std::vector<core::Mass>& masses) const {
   for (const Event& e : queue_.items()) {
     if (e.kind != Event::Kind::kDelivery) continue;
     if (dead_links_.count(norm_edge(e.a, e.b)) != 0 || !alive_[e.b]) continue;
+    if (stale_delivery(e)) continue;  // lost in a pre-heal outage
     if (nodes_[e.b]->in_flight_mass_accumulates()) {
       core::Mass m = nodes_[e.b]->unreceived_mass(e.a, e.packet);
       if (!m.is_zero()) masses.push_back(std::move(m));

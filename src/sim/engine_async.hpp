@@ -60,8 +60,10 @@ class AsyncEngine {
 
   [[nodiscard]] double now() const noexcept { return now_; }
   /// Live access to the fault model between run_until() calls. Only the
-  /// probabilistic knobs (loss / flip / state-flip rates) may be changed;
-  /// scheduled events are fixed at construction.
+  /// probabilistic knobs (loss / flip / state-flip / duplicate / reorder
+  /// rates) may be changed; scheduled events are fixed at construction, and
+  /// the churn event chains are seeded from the rates given at construction
+  /// (setting churn_fail_prob afterwards starts no new chain).
   [[nodiscard]] FaultPlan& mutable_faults() noexcept { return config_.faults; }
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] const Oracle& oracle() const noexcept { return oracle_; }
@@ -72,6 +74,9 @@ class AsyncEngine {
   [[nodiscard]] bool node_alive(NodeId i) const { return alive_.at(i); }
   /// Wall-clock / throughput counters (kEvents phase; see support/perf.hpp).
   [[nodiscard]] const PerfCounters& perf() const noexcept { return perf_; }
+
+  /// Cumulative fault telemetry — exactly what the invariant checkers see.
+  [[nodiscard]] FaultExposure fault_exposure() const;
 
   /// The invariant monitor, or nullptr when checking is disabled. Checks run
   /// at every run_until() boundary (there is no quiescent round boundary in
@@ -84,10 +89,24 @@ class AsyncEngine {
   struct View;
   struct Event {
     double time;
-    enum class Kind { kTick, kDelivery, kLinkFailure, kCrash, kDetect, kDataUpdate } kind;
-    NodeId a = 0;  // tick/crash: node; delivery: sender; link: endpoint a
+    enum class Kind {
+      kTick,
+      kDelivery,
+      kLinkFailure,
+      kCrash,
+      kDetect,
+      kDataUpdate,
+      kLinkHeal,     // scheduled or churn: the link transports again
+      kRejoin,       // a crashed node returns with fresh state
+      kDetectUp,     // detector reports a healed link up at one endpoint
+      kFalseDetect,  // detector false positive: live link wrongly excluded
+      kFalseClear,   // the false positive clears ("detected up")
+      kChurnFail,    // churn chain: the link fails
+    } kind;
+    NodeId a = 0;  // tick/crash/rejoin: node; delivery: sender; link: endpoint a
     NodeId b = 0;  // delivery: receiver; link: endpoint b; detect: peer
     std::uint64_t seq = 0;  // tie-break for deterministic ordering
+    double aux = 0.0;       // false detect: clear delay
     core::Packet packet;
   };
   struct EventOrder {
@@ -100,10 +119,20 @@ class AsyncEngine {
   void push(Event e);
   void handle(const Event& e);
   void schedule_tick(NodeId node);
-  void fail_link(NodeId a, NodeId b);
+  void fail_link(NodeId a, NodeId b, bool independent);
+  /// Revives a dead link between live nodes: packets queued before the heal
+  /// are lost (heal-epoch purge), detectors report "up" after the detection
+  /// delay, and the churn fail chain restarts. Returns false if the link was
+  /// not dead.
+  bool revive_link(NodeId a, NodeId b);
+  /// Snapshots live local masses + in-flight mass and retargets the oracle.
+  void retarget_now();
   /// Appends the mass carried by queued deliveries on live links to `masses`
   /// (the crash-retarget snapshot). See the class comment.
   void append_in_flight_mass(std::vector<core::Mass>& masses) const;
+  /// True if the delivery was queued before its link's last heal (the packet
+  /// was physically lost in the outage).
+  [[nodiscard]] bool stale_delivery(const Event& e) const;
 
   net::Topology topology_;
   AsyncEngineConfig config_;
@@ -111,8 +140,17 @@ class AsyncEngine {
   std::vector<Rng> node_rngs_;
   Rng net_rng_;
   Oracle oracle_;
+  std::vector<core::Mass> initial_;  // per node — a rejoining node restarts from this
   std::vector<bool> alive_;
   std::set<std::pair<NodeId, NodeId>> dead_links_;
+  /// Links that failed independently of a crash (scheduled or churn); a
+  /// rejoin does not revive these.
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
+  /// Live links currently excluded by a failure-detector false positive.
+  std::set<std::pair<NodeId, NodeId>> falsely_excluded_;
+  /// Per healed link: the event seq at heal time. Earlier-queued deliveries
+  /// were in flight when the cable was cut and are dropped on arrival.
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> heal_seq_;
   std::map<std::pair<NodeId, NodeId>, double> last_arrival_;  // FIFO clamp per directed link
   EventHeap<Event, EventOrder> queue_;
   double now_ = 0.0;
@@ -125,6 +163,11 @@ class AsyncEngine {
   std::size_t link_failures_fired_ = 0;
   std::size_t crashes_fired_ = 0;
   std::size_t data_updates_fired_ = 0;
+  std::size_t link_heals_fired_ = 0;
+  std::size_t rejoins_fired_ = 0;
+  std::size_t false_detects_fired_ = 0;
+  std::size_t false_clears_fired_ = 0;
+  std::size_t duplicates_injected_ = 0;
 };
 
 }  // namespace pcf::sim

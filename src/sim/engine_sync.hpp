@@ -54,6 +54,7 @@ struct RunStats {
   std::size_t messages_sent = 0;
   std::size_t messages_dropped = 0;  // by message-loss injection or dead links
   std::size_t messages_flipped = 0;
+  std::size_t messages_duplicated = 0;  // adversarial-delivery duplicates injected
   std::size_t doubles_sent = 0;  // payload bandwidth (mass components on the wire)
   std::size_t state_flips = 0;   // memory soft errors injected
   bool reached_target = false;   // for run_until_error
@@ -90,8 +91,10 @@ class SyncEngine {
   /// Wall-clock per phase / throughput counters (see support/perf.hpp).
   [[nodiscard]] const PerfCounters& perf() const noexcept { return perf_; }
   /// Live access to the fault model between steps. Only the probabilistic
-  /// knobs (message_loss_prob, bit_flip_prob, bit_flip_any_bit) may be
-  /// changed mid-run; the scheduled event lists are fixed at construction.
+  /// knobs (loss / flip / duplicate / reorder / churn rates) may be changed
+  /// mid-run; the scheduled event lists are fixed at construction. Zeroing
+  /// reorder_prob after a reordered round does NOT re-arm the exact
+  /// conservation checkers — the staleness it caused is sticky.
   [[nodiscard]] FaultPlan& mutable_faults() noexcept { return config_.faults; }
 
   /// Programmatic live data update: node's input changes by `delta` and the
@@ -103,6 +106,15 @@ class SyncEngine {
   /// Programmatic permanent link failure: transport stops now, both endpoints
   /// are notified immediately (detection delay does not apply).
   void fail_link_now(NodeId a, NodeId b);
+  /// Programmatic link heal: transport resumes now, both endpoints are
+  /// notified immediately (on_link_up). No-op if the link is up; rejected if
+  /// either endpoint is crashed (rejoin revives a crashed node's links).
+  void heal_link_now(NodeId a, NodeId b);
+  /// Currently failed links (normalized (min,max) pairs, sorted) — the chaos
+  /// harness uses this to heal whatever churn left dead.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> dead_links() const {
+    return {dead_links_.begin(), dead_links_.end()};
+  }
   [[nodiscard]] core::Reducer& node(NodeId i) { return *nodes_.at(i); }
   [[nodiscard]] const core::Reducer& node(NodeId i) const { return *nodes_.at(i); }
   [[nodiscard]] bool node_alive(NodeId i) const { return alive_.at(i); }
@@ -120,6 +132,11 @@ class SyncEngine {
   /// Samples a TracePoint for the current state.
   [[nodiscard]] TracePoint sample(std::size_t k = 0) const;
 
+  /// Cumulative fault telemetry — exactly what the invariant checkers see
+  /// (fired event counters, in-flight/lossy exposure). The chaos harness and
+  /// tests read heal/rejoin/duplication counts through this.
+  [[nodiscard]] FaultExposure fault_exposure() const;
+
   /// The invariant monitor, or nullptr when checking is disabled.
   [[nodiscard]] const InvariantMonitor* invariants() const noexcept { return monitor_.get(); }
   /// Runs all invariant checkers against the current state immediately
@@ -130,8 +147,14 @@ class SyncEngine {
   struct View;
   void check_invariants(bool force);
   void process_due_faults();
-  void fail_link(NodeId a, NodeId b, double physical_time);
+  void fail_link(NodeId a, NodeId b, double physical_time, bool independent);
+  /// Revives a dead link: clears the dead/cut marks, drops its stale pending
+  /// down-notices, and schedules on_link_up at both endpoints for
+  /// `time + detection_delay`. Caller has checked both endpoints are alive.
+  void revive_link(NodeId a, NodeId b, double physical_time);
+  void rejoin_node(NodeId node, double physical_time);
   void deliver_notifications_due();
+  void deliver_wire();
 
   net::Topology topology_;
   SyncEngineConfig config_;
@@ -139,21 +162,38 @@ class SyncEngine {
   std::vector<Rng> node_rngs_;
   Rng fault_rng_;
   Oracle oracle_;
+  std::vector<core::Mass> initial_;  // per node — a rejoining node restarts from this
   std::vector<bool> alive_;
   std::set<std::pair<NodeId, NodeId>> dead_links_;  // normalized (min,max); transport cut
+  /// Links that failed independently of a node crash (scheduled, explicit, or
+  /// churn). A rejoin revives a crashed node's links EXCEPT these — the cable
+  /// is still cut; only a heal event (or churn heal) restores them.
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
+  /// Live links currently excluded by a failure-detector false positive.
+  std::set<std::pair<NodeId, NodeId>> falsely_excluded_;
   struct PendingNotice {
     double due_time;
-    NodeId node;  // who gets on_link_down
+    NodeId node;  // who gets the callback
     NodeId peer;
+    bool up = false;  // false: on_link_down, true: on_link_up
   };
   std::vector<PendingNotice> pending_notices_;
+  std::vector<LinkHealEvent> churn_heals_;      // churn-scheduled heals, unordered
+  std::vector<FalseDetectEvent> pending_clears_;  // "detected up" times for false positives
   std::size_t next_link_failure_ = 0;
   std::size_t next_node_crash_ = 0;
   std::size_t next_data_update_ = 0;
+  std::size_t next_link_heal_ = 0;
+  std::size_t next_node_rejoin_ = 0;
+  std::size_t next_false_detect_ = 0;
   std::size_t round_ = 0;
   RunStats stats_;
   PerfCounters perf_;
   bool pending_retarget_ = false;
+  /// A round ran with reordering enabled. Sticky: the stale mirrors it left
+  /// outlive the knob, so the invariant layer treats the run as in-flight
+  /// from then on (see View::faults()).
+  bool wire_reordered_ = false;
   /// Crossing mode only: all exclusion notices have fired but the retarget
   /// must wait until the current round's wire_ has drained, so the snapshot
   /// sees no crossing packets mid-flight. See step().
@@ -162,6 +202,11 @@ class SyncEngine {
   std::size_t explicit_link_failures_ = 0;  // via fail_link_now()
   std::size_t crashes_fired_ = 0;
   std::size_t explicit_data_updates_ = 0;  // via apply_data_update()
+  std::size_t churn_failures_fired_ = 0;
+  std::size_t link_heals_fired_ = 0;
+  std::size_t rejoins_fired_ = 0;
+  std::size_t false_detects_fired_ = 0;
+  std::size_t false_clears_fired_ = 0;
 
   struct InFlight {
     NodeId from;

@@ -4,6 +4,13 @@
 //   link failures : "T:A:B[,T:A:B...]"      e.g.  "75:0:1,120:2:3"
 //   node crashes  : "T:N[,T:N...]"          e.g.  "100:5"
 //   data updates  : "T:N:DELTA[,...]"       e.g.  "50:3:2.5,80:0:-1"
+//   link heals    : "T:A:B[,T:A:B...]"      e.g.  "200:0:1"
+//   node rejoins  : "T:N[,T:N...]"          e.g.  "250:5"
+//   false detects : "T:A:B:D[,...]"         e.g.  "90:2:3:25" (clears after D)
+//
+// Every event time must be non-negative, and when the caller passes the
+// network size node ids are range-checked too. Parsed lists are sorted by
+// time, so specs may be written in any order.
 #pragma once
 
 #include <span>
@@ -13,8 +20,23 @@
 
 namespace pcf::sim {
 
-/// Parses the three event lists (each may be empty) into a FaultPlan.
-/// Throws ContractViolation with a pointed message on malformed input.
+/// The six textual event lists of a fault spec (each may be empty).
+struct FaultSpecInput {
+  std::string link_failures;
+  std::string node_crashes;
+  std::string data_updates;
+  std::string link_heals;
+  std::string node_rejoins;
+  std::string false_detects;
+};
+
+/// Parses the event lists into a FaultPlan with every list sorted by time.
+/// When `node_count` > 0 node ids are validated against it. Throws
+/// ContractViolation with a pointed message on malformed input (bad field
+/// counts, unparsable numbers, negative times, out-of-range node ids).
+[[nodiscard]] FaultPlan parse_fault_spec(const FaultSpecInput& spec, std::size_t node_count = 0);
+
+/// Back-compat convenience for the original three lists.
 [[nodiscard]] FaultPlan parse_fault_spec(const std::string& link_failures,
                                          const std::string& node_crashes,
                                          const std::string& data_updates);
@@ -27,5 +49,8 @@ namespace pcf::sim {
 /// Only scalar deltas are representable in the spec grammar; vector-payload
 /// updates are rejected with ContractViolation.
 [[nodiscard]] std::string format_data_updates(std::span<const DataUpdateEvent> events);
+[[nodiscard]] std::string format_link_heals(std::span<const LinkHealEvent> events);
+[[nodiscard]] std::string format_node_rejoins(std::span<const NodeRejoinEvent> events);
+[[nodiscard]] std::string format_false_detects(std::span<const FalseDetectEvent> events);
 
 }  // namespace pcf::sim

@@ -56,20 +56,39 @@ struct FaultExposure {
   bool lossy_env = false;
   /// Exponent bits may be flipped (NaN/Inf injection) — disables finiteness.
   bool any_bit_flips = false;
-  /// A crash fired but the oracle retarget is still pending.
+  /// A crash or rejoin fired but the oracle retarget is still pending.
   bool crash_settling = false;
-  std::size_t link_failures = 0;  ///< scheduled + explicit link failures fired
+  std::size_t link_failures = 0;  ///< scheduled + explicit + churn link failures fired
   std::size_t crashes = 0;
   std::size_t data_updates = 0;
+  std::size_t link_heals = 0;  ///< scheduled + explicit + churn link heals fired
+  std::size_t rejoins = 0;
+  std::size_t false_detects = 0;  ///< failure-detector false positives fired
+  /// False positives that cleared ("detected up" — on_link_up ran at both
+  /// ends). Counted separately from false_detects because the CLEAR also
+  /// resets per-edge protocol state and the checkers must resync then too.
+  std::size_t false_clears = 0;
+  /// Adversarial-delivery duplicates injected. Flow mirrors are idempotent;
+  /// push-sum shares are NOT — its conservation checks are suspended.
+  std::size_t messages_duplicated = 0;
 
   /// No drop/corruption event has fired — exact-conservation checks apply.
+  /// (Duplicates are excluded deliberately: flow-mirror delivery is
+  /// idempotent, so duplication keeps sequential conservation exact.)
   [[nodiscard]] bool transport_clean() const noexcept {
     return messages_dropped == 0 && messages_flipped == 0 && state_flips == 0;
   }
   /// Monotone event counter; history-based checkers reset when it changes.
   [[nodiscard]] std::size_t event_count() const noexcept {
     return messages_dropped + messages_flipped + state_flips + link_failures + crashes +
-           data_updates;
+           data_updates + link_heals + rejoins + false_detects + false_clears +
+           messages_duplicated;
+  }
+  /// Recovery events that reset per-edge protocol state (on_link_up zeroes
+  /// the PCF cycle counters); history-based per-edge checkers resynchronize
+  /// when this changes.
+  [[nodiscard]] std::size_t recovery_count() const noexcept {
+    return link_heals + rejoins + false_detects + false_clears;
   }
 };
 

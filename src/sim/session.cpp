@@ -70,4 +70,6 @@ SessionQueryResult ReductionSession::refresh() { return run_to_target(); }
 
 void ReductionSession::fail_link(net::NodeId a, net::NodeId b) { engine_.fail_link_now(a, b); }
 
+void ReductionSession::heal_link(net::NodeId a, net::NodeId b) { engine_.heal_link_now(a, b); }
+
 }  // namespace pcf::sim

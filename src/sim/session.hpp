@@ -69,6 +69,10 @@ class ReductionSession {
   /// Injects a permanent link failure into the live session.
   void fail_link(net::NodeId a, net::NodeId b);
 
+  /// Heals a previously failed link in the live session; the algorithms
+  /// re-admit the neighbor (Reducer::on_link_up) and re-converge warm.
+  void heal_link(net::NodeId a, net::NodeId b);
+
   [[nodiscard]] std::size_t total_rounds() const noexcept { return engine_.round(); }
   [[nodiscard]] std::size_t queries() const noexcept { return queries_; }
   [[nodiscard]] const SyncEngine& engine() const noexcept { return engine_; }

@@ -13,11 +13,17 @@
 //
 //   pcflow bench --suite=fast --out=BENCH_pcflow.json
 //   pcflow bench --suite=standard --threads=8
+//
+// The `chaos` subcommand sweeps ramping churn intensity across
+// algorithm × topology cells and reports recovery / survival quantiles:
+//
+//   pcflow chaos --fast --out=CHAOS_pcflow.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "bench/bench.hpp"
+#include "bench/chaos.hpp"
 #include "core/reducer.hpp"
 #include "net/topology.hpp"
 #include "sim/engine_sync.hpp"
@@ -70,9 +76,42 @@ int run_bench_cli(int argc, const char* const* argv) {
   return 0;
 }
 
+int run_chaos_cli(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.define("fast", false, "CI-sized sweep (fewer cells, shorter runs)");
+  flags.define("seed", std::int64_t{1}, "sweep RNG seed");
+  flags.define("out", std::string("CHAOS_pcflow.json"), "output path ('-' = stdout only)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::ChaosOptions options;
+  options.fast = flags.get_bool("fast");
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  const bench::ChaosReport report = bench::run_chaos(options);
+  const std::string json = bench::chaos_report_to_json(report);
+
+  const std::string& out = flags.get_string("out");
+  if (out == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    PCF_CHECK_MSG(file.good(), "chaos: cannot open " << out << " for writing");
+    file << json;
+    PCF_CHECK_MSG(file.good(), "chaos: write to " << out << " failed");
+    std::size_t survived = 0;
+    for (const auto& c : report.cells) survived += c.survived;
+    std::printf("pcflow chaos: %zu cells (%zu survived all trials) -> %s\n", report.cells.size(),
+                survived, out.c_str());
+  }
+  return 0;
+}
+
 int run_cli(int argc, const char* const* argv) {
   if (argc > 1 && std::strcmp(argv[1], "bench") == 0) {
     return run_bench_cli(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
+    return run_chaos_cli(argc - 1, argv + 1);
   }
   CliFlags flags;
   flags.define("topology", std::string("hypercube:6"),
@@ -87,9 +126,18 @@ int run_cli(int argc, const char* const* argv) {
   flags.define("loss", 0.0, "message loss probability");
   flags.define("flip", 0.0, "per-message bit flip probability");
   flags.define("detection-delay", 0.0, "failure detector delay in rounds");
-  flags.define("link-fail", std::string{}, "permanent link failures, T:A:B[,T:A:B...]");
+  flags.define("duplicate", 0.0, "per-delivery duplication probability");
+  flags.define("reorder", 0.0, "per-delivery reordering probability");
+  flags.define("reorder-jitter", 0.5, "extra delay for reordered packets");
+  flags.define("churn-fail", 0.0, "per-link per-round churn failure probability");
+  flags.define("churn-heal", 0.0, "churn heal rate (Exp outage duration)");
+  flags.define("link-fail", std::string{}, "link failures, T:A:B[,T:A:B...]");
   flags.define("crash", std::string{}, "node crashes, T:N[,T:N...]");
   flags.define("update", std::string{}, "live data updates, T:N:DELTA[,...]");
+  flags.define("link-heal", std::string{}, "link heals, T:A:B[,T:A:B...]");
+  flags.define("rejoin", std::string{}, "node rejoins, T:N[,T:N...]");
+  flags.define("false-detect", std::string{},
+               "failure-detector false positives, T:A:B:D[,...] (clears after D rounds)");
   flags.define("seed", std::int64_t{1}, "RNG seed");
   flags.define("trace-every", std::int64_t{0}, "print an error trace row every N rounds");
   flags.define("csv", std::string{}, "write the trace as CSV to this path");
@@ -106,11 +154,22 @@ int run_cli(int argc, const char* const* argv) {
   config.reducer.pcf_variant =
       variant == "fast" ? core::PcfVariant::kFast : core::PcfVariant::kRobust;
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  config.faults = sim::parse_fault_spec(flags.get_string("link-fail"), flags.get_string("crash"),
-                                        flags.get_string("update"));
+  sim::FaultSpecInput fault_spec;
+  fault_spec.link_failures = flags.get_string("link-fail");
+  fault_spec.node_crashes = flags.get_string("crash");
+  fault_spec.data_updates = flags.get_string("update");
+  fault_spec.link_heals = flags.get_string("link-heal");
+  fault_spec.node_rejoins = flags.get_string("rejoin");
+  fault_spec.false_detects = flags.get_string("false-detect");
+  config.faults = sim::parse_fault_spec(fault_spec, topology.size());
   config.faults.message_loss_prob = flags.get_double("loss");
   config.faults.bit_flip_prob = flags.get_double("flip");
   config.faults.detection_delay = flags.get_double("detection-delay");
+  config.faults.duplicate_prob = flags.get_double("duplicate");
+  config.faults.reorder_prob = flags.get_double("reorder");
+  config.faults.reorder_jitter = flags.get_double("reorder-jitter");
+  config.faults.churn_fail_prob = flags.get_double("churn-fail");
+  config.faults.churn_heal_rate = flags.get_double("churn-heal");
 
   const std::string& aggregate_name = flags.get_string("aggregate");
   PCF_CHECK_MSG(aggregate_name == "avg" || aggregate_name == "sum", "--aggregate wants avg|sum");

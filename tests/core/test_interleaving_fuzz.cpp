@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <map>
+#include <utility>
 
 #include "core/push_cancel_flow.hpp"
 #include "core/push_flow.hpp"
@@ -48,6 +49,30 @@ struct TwoNodeHarness {
           a->on_receive(1, ba.front());
           ba.pop_front();
         }
+        break;
+      case 6:
+        // Adversarial duplication: the head packet is delivered twice
+        // back-to-back (a retransmitting transport).
+        if (!ab.empty()) {
+          b->on_receive(0, ab.front());
+          b->on_receive(0, ab.front());
+          ab.pop_front();
+        }
+        break;
+      case 7:
+        if (!ba.empty()) {
+          a->on_receive(1, ba.front());
+          a->on_receive(1, ba.front());
+          ba.pop_front();
+        }
+        break;
+      // 8/9: bounded reordering — the two oldest pipelined packets swap
+      // places, so the newer one overtakes on delivery.
+      case 8:
+        if (ab.size() >= 2) std::swap(ab[0], ab[1]);
+        break;
+      case 9:
+        if (ba.size() >= 2) std::swap(ba[0], ba[1]);
         break;
       default: break;  // 4 = drop oldest a→b, 5 = drop oldest b→a
     }
@@ -117,6 +142,40 @@ TEST_P(InterleavingFuzz, MassConservedUnderInterleavingWithLoss) {
     const Mass total = h.total();
     ASSERT_NEAR(total.s[0], 4.0, 1e-9) << "trial " << trial;
     ASSERT_NEAR(total.w, 2.0, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST_P(InterleavingFuzz, MassConservedUnderDuplicationAndReordering) {
+  // The full adversarial-delivery op set: loss (4/5), duplication (6/7), and
+  // head-of-queue reordering (8/9) on top of arbitrary interleaving. Flow
+  // mirrors are idempotent and absolute, so duplicates are no-ops and a
+  // reordered stale mirror is overwritten by the quiesce re-exchanges.
+  Rng rng(0xd0d0);
+  for (int trial = 0; trial < 3000; ++trial) {
+    TwoNodeHarness h(GetParam(), {});
+    for (int op = 0; op < 60; ++op) h.op(static_cast<int>(rng.below(10)));
+    h.quiesce();
+    const Mass total = h.total();
+    ASSERT_NEAR(total.s[0], 4.0, 1e-9) << "trial " << trial;
+    ASSERT_NEAR(total.w, 2.0, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST_P(InterleavingFuzz, PcfVariantsConserveUnderDuplicationAndReordering) {
+  // Both PCF bookkeeping variants must keep their cancellation handshake
+  // sound when handshake packets are duplicated or arrive out of order.
+  for (const auto variant : {PcfVariant::kFast, PcfVariant::kRobust}) {
+    ReducerConfig config;
+    config.pcf_variant = variant;
+    Rng rng(0x5eed);
+    for (int trial = 0; trial < 1000; ++trial) {
+      TwoNodeHarness h(GetParam(), config);
+      for (int op = 0; op < 60; ++op) h.op(static_cast<int>(rng.below(10)));
+      h.quiesce();
+      const Mass total = h.total();
+      ASSERT_NEAR(total.s[0], 4.0, 1e-9) << "trial " << trial << " " << to_string(variant);
+      ASSERT_NEAR(total.w, 2.0, 1e-9) << "trial " << trial << " " << to_string(variant);
+    }
   }
 }
 

@@ -86,6 +86,64 @@ TEST(ThreadedRuntime, LinkFailureBetweenPhasesIsTolerated) {
   for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-11);
 }
 
+TEST(ThreadedRuntime, HealLinkRestoresTopologyBetweenPhases) {
+  // run() drains all in-flight packets before returning, so push-flow's
+  // exclusion and re-admission are both symmetric and mass-neutral: after the
+  // heal the ORIGINAL aggregate comes back at full accuracy. (PCF would not
+  // do for this assertion — its cancellation handshake can rest mid-cycle
+  // even at quiescence, where exclusion costs one absorbed half.)
+  const auto t = net::Topology::hypercube(4);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 5);
+  double expected_s = 0.0;
+  for (const auto& m : masses) expected_s += m.s[0];
+  RuntimeConfig cfg;
+  cfg.algorithm = Algorithm::kPushFlow;
+  cfg.num_threads = 4;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.run(200);
+  rt.fail_link(0, 1);
+  EXPECT_EQ(rt.node(0).live_degree(), 3u);
+  rt.run(300);
+  rt.heal_link(0, 1);
+  EXPECT_EQ(rt.node(0).live_degree(), 4u);
+  EXPECT_EQ(rt.node(1).live_degree(), 4u);
+  rt.heal_link(0, 1);  // healing a live link is a no-op
+  EXPECT_EQ(rt.node(0).live_degree(), 4u);
+  rt.run(600);
+  const auto total = rt.total_mass();
+  EXPECT_NEAR(total.s[0], expected_s, 1e-9);  // the episode was mass-neutral
+  const sim::Oracle oracle(masses);
+  for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-10);
+}
+
+TEST(ThreadedRuntime, HealLinkWhileWorkersRunIsCheckedIllegal) {
+  // Same contract as fail_link: workers read dead_links_ without a lock, so
+  // heal_link must throw while a run() phase is active and succeed between
+  // phases.
+  const auto t = net::Topology::ring(8);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 10);
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.seed = 10;
+  ThreadedRuntime rt(t, masses, cfg);
+  rt.fail_link(0, 1);
+  std::thread phase([&rt] { rt.run(20000); });
+  while (!rt.workers_active()) std::this_thread::yield();
+  EXPECT_THROW(rt.heal_link(0, 1), ContractViolation);
+  phase.join();
+  EXPECT_FALSE(rt.workers_active());
+  rt.heal_link(0, 1);  // between phases: legal, notifies both endpoints
+  EXPECT_EQ(rt.node(0).live_degree(), 2u);
+  EXPECT_EQ(rt.node(1).live_degree(), 2u);
+}
+
+TEST(ThreadedRuntime, HealLinkRejectsNonEdge) {
+  const auto t = net::Topology::ring(6);
+  const auto masses = random_masses(t.size(), Aggregate::kAverage, 6);
+  ThreadedRuntime rt(t, masses, {});
+  EXPECT_THROW(rt.heal_link(0, 3), ContractViolation);
+}
+
 TEST(ThreadedRuntime, FailLinkRejectsNonEdge) {
   const auto t = net::Topology::ring(6);
   const auto masses = random_masses(t.size(), Aggregate::kAverage, 6);

@@ -149,5 +149,77 @@ TEST(FaultPlan, EmptyDetection) {
   EXPECT_FALSE(plan.empty());
 }
 
+TEST(FaultPlan, EmptyDetectionCoversRecoveryAndDeliveryKnobs) {
+  FaultPlan plan;
+  plan.duplicate_prob = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan = {};
+  plan.reorder_prob = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan = {};
+  plan.churn_fail_prob = 0.01;
+  EXPECT_FALSE(plan.empty());
+  plan = {};
+  plan.link_heals.push_back({5.0, 0, 1});
+  EXPECT_FALSE(plan.empty());
+  plan = {};
+  plan.node_rejoins.push_back({5.0, 2});
+  EXPECT_FALSE(plan.empty());
+  plan = {};
+  plan.false_detects.push_back({5.0, 0, 1, 2.0});
+  EXPECT_FALSE(plan.empty());
+  // Pure tuning knobs with no faults attached do not make the plan non-empty.
+  plan = {};
+  plan.detection_delay = 3.0;
+  plan.reorder_jitter = 1.0;
+  plan.churn_heal_rate = 0.5;
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, LatestEventTimeSpansAllListsAndClearDelays) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.latest_event_time(), 0.0);
+  plan.link_failures.push_back({40.0, 0, 1});
+  plan.node_crashes.push_back({55.0, 2});
+  plan.data_updates.push_back({60.0, 3, {}});
+  plan.link_heals.push_back({120.0, 0, 1});
+  plan.node_rejoins.push_back({130.0, 2});
+  EXPECT_EQ(plan.latest_event_time(), 130.0);
+  // A false detect extends to its clear time.
+  plan.false_detects.push_back({125.0, 0, 1, 30.0});
+  EXPECT_EQ(plan.latest_event_time(), 155.0);
+  // Churn is unscheduled and contributes nothing.
+  plan.churn_fail_prob = 0.5;
+  EXPECT_EQ(plan.latest_event_time(), 155.0);
+}
+
+TEST(FaultPlan, FieldCountIsPinned) {
+  // Structured bindings require naming EVERY field: this stops compiling the
+  // moment FaultPlan grows or shrinks. If you are here because of a compile
+  // error, first thread the new field through every consumer listed in the
+  // NOTE above the struct in sim/faults.hpp, then extend this binding.
+  FaultPlan plan;
+  const auto& [message_loss_prob, bit_flip_prob, bit_flip_any_bit, state_flip_prob,
+               detection_delay, duplicate_prob, reorder_prob, reorder_jitter, churn_fail_prob,
+               churn_heal_rate, link_failures, node_crashes, data_updates, link_heals,
+               node_rejoins, false_detects] = plan;
+  EXPECT_EQ(message_loss_prob, 0.0);
+  EXPECT_EQ(bit_flip_prob, 0.0);
+  EXPECT_FALSE(bit_flip_any_bit);
+  EXPECT_EQ(state_flip_prob, 0.0);
+  EXPECT_EQ(detection_delay, 0.0);
+  EXPECT_EQ(duplicate_prob, 0.0);
+  EXPECT_EQ(reorder_prob, 0.0);
+  EXPECT_EQ(reorder_jitter, 0.5);
+  EXPECT_EQ(churn_fail_prob, 0.0);
+  EXPECT_EQ(churn_heal_rate, 0.0);
+  EXPECT_TRUE(link_failures.empty());
+  EXPECT_TRUE(node_crashes.empty());
+  EXPECT_TRUE(data_updates.empty());
+  EXPECT_TRUE(link_heals.empty());
+  EXPECT_TRUE(node_rejoins.empty());
+  EXPECT_TRUE(false_detects.empty());
+}
+
 }  // namespace
 }  // namespace pcf::sim
