@@ -76,11 +76,11 @@ AsyncEngine::AsyncEngine(net::Topology topology, std::span<const core::Mass> ini
   for (NodeId i = 0; i < topology.size(); ++i) schedule_tick(i);
   for (const auto& f : config_.faults.link_failures) {
     PCF_CHECK_MSG(topology.has_edge(f.a, f.b), "fault plan: unknown link");
-    push({f.time, Event::Kind::kLinkFailure, f.a, f.b, 0, {}});
+    push({f.time, Event::Kind::kLinkFailure, f.a, f.b});
   }
   for (const auto& c : config_.faults.node_crashes) {
     PCF_CHECK_MSG(c.node < topology.size(), "fault plan: crash node out of range");
-    push({c.time, Event::Kind::kCrash, c.node, 0, 0, {}});
+    push({c.time, Event::Kind::kCrash, c.node});
   }
   for (const auto& u : config_.faults.data_updates) {
     PCF_CHECK_MSG(u.node < topology.size(), "fault plan: data update node out of range");
@@ -124,7 +124,7 @@ void AsyncEngine::push(Event e) {
 
 void AsyncEngine::schedule_tick(NodeId node) {
   const double dt = node_rngs_[node].exponential(config_.tick_rate);
-  push({now_ + dt, Event::Kind::kTick, node, 0, 0, {}});
+  push({now_ + dt, Event::Kind::kTick, node});
 }
 
 void AsyncEngine::fail_link(NodeId a, NodeId b, bool independent) {

@@ -78,7 +78,9 @@ TEST_P(DifferentialMatrix, MessageLoss) {
   for (const auto& outcome : result.outcomes) {
     // Push-sum loses mass with every dropped packet; the flow algorithms heal.
     EXPECT_EQ(outcome.trusted, outcome.algorithm != Algorithm::kPushSum);
-    if (outcome.trusted) EXPECT_TRUE(outcome.converged);
+    if (outcome.trusted) {
+      EXPECT_TRUE(outcome.converged);
+    }
   }
 }
 
@@ -95,8 +97,8 @@ INSTANTIATE_TEST_SUITE_P(Topologies, DifferentialMatrix,
                          ::testing::Values(MatrixCase{"hypercube:4", 500},
                                            MatrixCase{"grid:4x5", 1500},
                                            MatrixCase{"ring:16", 4000}),
-                         [](const auto& info) {
-                           std::string name = info.param.topology;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param.topology;
                            for (char& c : name) {
                              if (c == ':' || c == 'x') c = '_';
                            }
@@ -203,7 +205,9 @@ TEST(Differential, SurvivorsReconvergeAfterACrash) {
   const auto result = run_differential(scenario);
   EXPECT_FALSE(result.diverged()) << join(result.divergences);
   for (const auto& outcome : result.outcomes) {
-    if (outcome.trusted) EXPECT_TRUE(outcome.converged);
+    if (outcome.trusted) {
+      EXPECT_TRUE(outcome.converged);
+    }
   }
 }
 

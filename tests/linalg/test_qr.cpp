@@ -15,7 +15,7 @@ class QrBothAlgorithms : public ::testing::TestWithParam<bool> {
 };
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, QrBothAlgorithms, ::testing::Values(false, true),
-                         [](const auto& info) { return info.param ? "householder" : "mgs"; });
+                         [](const auto& param_info) { return param_info.param ? "householder" : "mgs"; });
 
 TEST_P(QrBothAlgorithms, ReconstructsSquareMatrix) {
   Rng rng(1);

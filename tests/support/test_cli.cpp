@@ -93,8 +93,8 @@ TEST(CliFlags, PositionalArgumentsCollected) {
 TEST(CliFlags, WrongTypeAccessThrows) {
   auto flags = standard_flags();
   EXPECT_TRUE(parse(flags, {}));
-  EXPECT_THROW(flags.get_int("ratio"), ContractViolation);
-  EXPECT_THROW(flags.get_double("nonexistent"), ContractViolation);
+  EXPECT_THROW((void)flags.get_int("ratio"), ContractViolation);
+  EXPECT_THROW((void)flags.get_double("nonexistent"), ContractViolation);
 }
 
 TEST(CliFlags, NegativeNumbersAccepted) {

@@ -90,7 +90,7 @@ TEST(JsonWriter, MisuseThrows) {
   {
     JsonWriter json;
     json.begin_object();
-    EXPECT_THROW(json.str(), ContractViolation);  // unterminated scope
+    EXPECT_THROW((void)json.str(), ContractViolation);  // unterminated scope
   }
   {
     JsonWriter json;
