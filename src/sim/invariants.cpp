@@ -320,6 +320,8 @@ class FiniteStateChecker final : public InvariantChecker {
 
 bool InvariantConfig::resolve_enabled() const {
   if (enabled.has_value()) return *enabled;
+  // pcflow-lint: allow(D1) arming switch only: read once, never feeds simulation
+  // state — the checkers observe the run, they do not perturb it
   const char* env = std::getenv("PCF_CHECK_INVARIANTS");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }

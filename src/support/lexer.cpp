@@ -1,0 +1,275 @@
+#include "support/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace pcf::lex {
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character punctuators, longest first so greedy matching works
+/// (single characters fall through to the one-char default).
+constexpr std::array<std::string_view, 26> kPuncts = {
+    "<<=", ">>=", "...", "->*", "<=>",                                       // 3 chars
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",  // 2 chars
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+};
+
+/// Cursor over the source that tracks line/column and treats a
+/// backslash-newline as invisible glue (C++ phase-2 splicing) so tokens and
+/// positions stay correct in macro-heavy code.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t col() const noexcept { return col_; }
+
+  /// Current character, skipping any backslash-newline splices at the cursor.
+  [[nodiscard]] char peek() noexcept {
+    splice();
+    return done() ? '\0' : src_[pos_];
+  }
+
+  [[nodiscard]] char peek2() noexcept {
+    splice();
+    return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+  }
+
+  void advance() noexcept {
+    splice();
+    if (done()) return;
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+ private:
+  void splice() noexcept {
+    while (pos_ + 1 < src_.size() && src_[pos_] == '\\' &&
+           (src_[pos_ + 1] == '\n' ||
+            (src_[pos_ + 1] == '\r' && pos_ + 2 < src_.size() && src_[pos_ + 2] == '\n'))) {
+      pos_ += src_[pos_ + 1] == '\r' ? 3 : 2;
+      ++line_;
+      col_ = 1;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src), cur_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_whitespace();
+      if (cur_.done()) break;
+      out.push_back(next_token());
+    }
+    return out;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (!cur_.done()) {
+      const char c = cur_.peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f') {
+        cur_.advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] Token make(TokenKind kind, std::size_t start, std::size_t line,
+                           std::size_t col) const {
+    return Token{kind, src_.substr(start, cur_.pos() - start), line, col};
+  }
+
+  Token next_token() {
+    const std::size_t start = cur_.pos();
+    const std::size_t line = cur_.line();
+    const std::size_t col = cur_.col();
+    const char c = cur_.peek();
+
+    if (c == '/' && cur_.peek2() == '/') return lex_line_comment(start, line, col);
+    if (c == '/' && cur_.peek2() == '*') return lex_block_comment(start, line, col);
+    if (is_string_prefix(start)) return lex_string(start, line, col);
+    if (c == '\'') return lex_char(start, line, col);
+    if (is_ident_start(c)) return lex_identifier(start, line, col);
+    // pp-number starts with a digit or `.digit`.
+    if (is_digit(c) || (c == '.' && is_digit(cur_.peek2()))) return lex_number(start, line, col);
+    return lex_punct(start, line, col);
+  }
+
+  Token lex_line_comment(std::size_t start, std::size_t line, std::size_t col) {
+    while (!cur_.done() && cur_.peek() != '\n') cur_.advance();
+    return make(TokenKind::kComment, start, line, col);
+  }
+
+  Token lex_block_comment(std::size_t start, std::size_t line, std::size_t col) {
+    cur_.advance();  // '/'
+    cur_.advance();  // '*'
+    while (!cur_.done()) {
+      if (cur_.peek() == '*' && cur_.peek2() == '/') {
+        cur_.advance();
+        cur_.advance();
+        break;
+      }
+      cur_.advance();
+    }
+    return make(TokenKind::kComment, start, line, col);
+  }
+
+  /// True when the cursor sits on a string literal, including encoding
+  /// prefixes (u8, u, U, L) and the raw-string R. The prefix must be exactly
+  /// the identifier before the quote — `CHECKR"..."` is an identifier, not a
+  /// raw string — which is why identifiers are lexed before this is consulted
+  /// for non-prefix starts.
+  [[nodiscard]] bool is_string_prefix(std::size_t start) const {
+    static constexpr std::array<std::string_view, 9> kPrefixes = {
+        "\"", "R\"", "u8\"", "u8R\"", "u\"", "uR\"", "U\"", "UR\"", "L\"",
+    };
+    const std::string_view rest = src_.substr(start);
+    for (const auto p : kPrefixes) {
+      if (rest.substr(0, p.size()) == p) return true;
+    }
+    return false;
+  }
+
+  Token lex_string(std::size_t start, std::size_t line, std::size_t col) {
+    bool raw = false;
+    while (cur_.peek() != '"') {  // consume the prefix
+      if (cur_.peek() == 'R') raw = true;
+      cur_.advance();
+    }
+    cur_.advance();  // opening quote
+    if (raw) {
+      // R"delim( ... )delim" — find the delimiter, then scan for `)delim"`.
+      std::string delim;
+      while (!cur_.done() && cur_.peek() != '(') {
+        delim.push_back(cur_.peek());
+        cur_.advance();
+      }
+      cur_.advance();  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (!cur_.done()) {
+        if (cur_.peek() == ')' && src_.substr(cur_.pos(), closer.size()) == closer) {
+          for (std::size_t i = 0; i < closer.size(); ++i) cur_.advance();
+          break;
+        }
+        cur_.advance();
+      }
+    } else {
+      while (!cur_.done() && cur_.peek() != '"' && cur_.peek() != '\n') {
+        if (cur_.peek() == '\\') cur_.advance();
+        cur_.advance();
+      }
+      if (!cur_.done() && cur_.peek() == '"') cur_.advance();
+    }
+    return make(TokenKind::kString, start, line, col);
+  }
+
+  Token lex_char(std::size_t start, std::size_t line, std::size_t col) {
+    cur_.advance();  // opening quote
+    while (!cur_.done() && cur_.peek() != '\'' && cur_.peek() != '\n') {
+      if (cur_.peek() == '\\') cur_.advance();
+      cur_.advance();
+    }
+    if (!cur_.done() && cur_.peek() == '\'') cur_.advance();
+    return make(TokenKind::kChar, start, line, col);
+  }
+
+  Token lex_identifier(std::size_t start, std::size_t line, std::size_t col) {
+    while (!cur_.done() && is_ident_char(cur_.peek())) cur_.advance();
+    // Encoding prefix directly attached to a quote: re-lex as a string so
+    // `u8"x"` and `L'\0'`-style literals stay single tokens.
+    if (!cur_.done() && (cur_.peek() == '"' || cur_.peek() == '\'')) {
+      const std::string_view id = src_.substr(start, cur_.pos() - start);
+      if (id == "R" || id == "u8" || id == "u8R" || id == "u" || id == "uR" || id == "U" ||
+          id == "UR" || id == "L") {
+        return cur_.peek() == '"' ? lex_string(start, line, col) : lex_char(start, line, col);
+      }
+    }
+    return make(TokenKind::kIdentifier, start, line, col);
+  }
+
+  Token lex_number(std::size_t start, std::size_t line, std::size_t col) {
+    // pp-number: digits, identifier chars, `'` separators, `.`, and sign
+    // characters when they follow an exponent letter (1e+9, 0x1p-3).
+    cur_.advance();
+    while (!cur_.done()) {
+      const char c = cur_.peek();
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        cur_.advance();
+      } else if ((c == '+' || c == '-') && cur_.pos() > start) {
+        const char prev = src_[cur_.pos() - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          cur_.advance();
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    return make(TokenKind::kNumber, start, line, col);
+  }
+
+  Token lex_punct(std::size_t start, std::size_t line, std::size_t col) {
+    const std::string_view rest = src_.substr(start);
+    for (const auto p : kPuncts) {
+      if (p.size() > 1 && rest.substr(0, p.size()) == p) {
+        for (std::size_t i = 0; i < p.size(); ++i) cur_.advance();
+        return make(TokenKind::kPunct, start, line, col);
+      }
+    }
+    cur_.advance();
+    return make(TokenKind::kPunct, start, line, col);
+  }
+
+  std::string_view src_;
+  Cursor cur_;
+};
+
+}  // namespace
+
+std::string_view to_string(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kChar: return "char";
+    case TokenKind::kPunct: return "punct";
+    case TokenKind::kComment: return "comment";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace pcf::lex

@@ -1,0 +1,45 @@
+// Lightweight C++ source tokenizer for project tooling (pcflow-lint).
+//
+// This is deliberately NOT a compiler front end: it has no preprocessor, no
+// symbol table and no types. It splits a translation unit into the token
+// stream a human sees — identifiers, literals, punctuation and comments —
+// with exact line/column positions, which is all the project's lint rules
+// need (they reason about banned names, call shapes and comment-based
+// suppressions). Comments are kept as first-class tokens so the lint layer
+// can parse `// pcflow-lint: allow(...)` annotations from the same stream.
+//
+// Handled correctly so rules never fire inside them: line/block comments,
+// string and character literals (with escapes), raw string literals
+// (R"delim(...)delim"), and backslash-newline continuations.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace pcf::lex {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (the lexer does not distinguish)
+  kNumber,      ///< pp-number: integers, floats, hex, digit separators, suffixes
+  kString,      ///< "..." including encoding prefixes and raw strings
+  kChar,        ///< '...'
+  kPunct,       ///< operators/punctuation, longest-match (e.g. `::`, `->`, `==`)
+  kComment,     ///< // or /* */, full text including the delimiters
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind;
+  std::string_view text;  ///< view into the source passed to tokenize()
+  std::size_t line = 1;   ///< 1-based line of the first character
+  std::size_t col = 1;    ///< 1-based column of the first character
+};
+
+/// Tokenizes `source` (which must outlive the returned tokens). Unterminated
+/// literals/comments are closed at end of input rather than rejected — lint
+/// must degrade gracefully on code that does not compile yet.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace pcf::lex

@@ -1,0 +1,9 @@
+// pcflow-lint — standalone entry point. `pcflow lint` is the same code via
+// the pcflow multitool; CI and the lint CMake target use this binary.
+//
+//   pcflow-lint --root=.                 # lint src/, bench/, examples/
+//   pcflow-lint --root=. src/core/x.cpp  # lint specific files
+//   pcflow-lint --list-rules
+#include "tools/lint/lint.hpp"
+
+int main(int argc, char** argv) { return pcf::lint::run_cli(argc, argv); }

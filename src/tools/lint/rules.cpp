@@ -1,0 +1,373 @@
+// Rule implementations for pcflow-lint. Each rule is a token-stream scanner:
+// no preprocessor, no types — the rules reason about banned names, call
+// shapes and class-body structure, which covers the bug classes that break
+// bit-determinism without needing a compiler front end. Known lexical
+// limitations (and the reasoning behind each rule's scope) are documented in
+// docs/TESTING.md; the clang-tidy/cppcheck layer in CI backstops what a
+// lexical pass cannot see.
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "tools/lint/rules.hpp"
+
+namespace pcf::lint::detail {
+namespace {
+
+using lex::Token;
+using lex::TokenKind;
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+[[nodiscard]] bool path_in(std::string_view path, std::initializer_list<std::string_view> dirs) {
+  return std::any_of(dirs.begin(), dirs.end(),
+                     [&](std::string_view d) { return starts_with(path, d); });
+}
+
+/// Deterministic paths for D1: the engines, protocol state machines,
+/// topologies and the bench/chaos harnesses whose JSON is byte-compared.
+[[nodiscard]] bool is_d1_path(std::string_view path) {
+  return path_in(path, {"src/core/", "src/sim/", "src/net/", "src/bench/"});
+}
+
+/// D2 adds the threaded runtime and linalg: their results feed the same
+/// oracles, so container iteration order must not leak there either.
+[[nodiscard]] bool is_d2_path(std::string_view path) {
+  return is_d1_path(path) || path_in(path, {"src/runtime/", "src/linalg/"});
+}
+
+/// The one module allowed to own std::random machinery.
+[[nodiscard]] bool is_rng_home(std::string_view path) {
+  return path == "src/support/rng.hpp" || path == "src/support/rng.cpp";
+}
+
+/// F1 float-keyword scope: the numeric state the accuracy claims are about.
+[[nodiscard]] bool is_f1_state_path(std::string_view path) {
+  return path_in(path, {"src/core/", "src/linalg/"});
+}
+
+/// Oracle / reference files compare against exact expected values by design.
+[[nodiscard]] bool is_oracle_path(std::string_view path) {
+  return starts_with(path, "src/sim/differential.") ||
+         starts_with(path, "src/linalg/eigen_ref.");
+}
+
+void emit(std::vector<Diagnostic>& out, std::string_view path, const Token& tok, Rule rule,
+          std::string message) {
+  out.push_back({std::string(path), tok.line, tok.col, rule, std::move(message)});
+}
+
+[[nodiscard]] bool is_ident(const Token& tok, std::string_view text) noexcept {
+  return tok.kind == TokenKind::kIdentifier && tok.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& tok, std::string_view text) noexcept {
+  return tok.kind == TokenKind::kPunct && tok.text == text;
+}
+
+/// True when tokens[i] is qualified as `std::name` or (global) `::name`.
+[[nodiscard]] bool is_std_qualified(const std::vector<Token>& code, std::size_t i) noexcept {
+  if (i < 1 || !is_punct(code[i - 1], "::")) return false;
+  if (i < 2) return true;  // leading `::name`
+  if (is_ident(code[i - 2], "std") || is_ident(code[i - 2], "chrono")) return true;
+  return code[i - 2].kind != TokenKind::kIdentifier;  // `::name` after non-ident → global
+}
+
+// ---------------------------------------------------------------- D1 -------
+
+/// Names that are nondeterministic however they are reached.
+constexpr std::array<std::string_view, 3> kD1Always = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+
+/// C-library calls that read the environment or the wall clock. Flagged when
+/// std::/::-qualified, or unqualified in call position (see below).
+constexpr std::array<std::string_view, 9> kD1Calls = {
+    "rand", "srand", "random", "time", "clock", "getenv", "gmtime", "localtime", "mktime"};
+
+/// Call-position heuristic for unqualified uses of kD1Calls: `name(` counts
+/// as a call unless it is a member access (`x.time()`), a qualified name in
+/// another namespace, or a declaration (`double time() const`). Previous
+/// tokens that indicate a declaration or member access veto the match;
+/// statement/expression contexts confirm it.
+[[nodiscard]] bool is_bare_call(const std::vector<Token>& code, std::size_t i) {
+  if (i + 1 >= code.size() || !is_punct(code[i + 1], "(")) return false;
+  if (i == 0) return true;  // file starts with the call — pathological but a call
+  const Token& prev = code[i - 1];
+  if (prev.kind == TokenKind::kPunct) {
+    static constexpr std::array<std::string_view, 5> kVeto = {".", "->", "::", "*", "&"};
+    return std::find(kVeto.begin(), kVeto.end(), prev.text) == kVeto.end();
+  }
+  if (prev.kind == TokenKind::kIdentifier) {
+    // `return time(...)` is a call; `double time()` is a declaration.
+    static constexpr std::array<std::string_view, 5> kCallKeywords = {"return", "co_return",
+                                                                     "co_yield", "case", "throw"};
+    return std::find(kCallKeywords.begin(), kCallKeywords.end(), prev.text) != kCallKeywords.end();
+  }
+  return false;
+}
+
+void rule_d1(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  if (!is_d1_path(path)) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& tok = code[i];
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (std::find(kD1Always.begin(), kD1Always.end(), tok.text) != kD1Always.end()) {
+      std::ostringstream os;
+      os << "wall-clock source `" << tok.text
+         << "` in deterministic path (PerfCounters in support/perf.hpp is the sanctioned owner)";
+      emit(out, path, tok, Rule::kD1, os.str());
+      continue;
+    }
+    if (std::find(kD1Calls.begin(), kD1Calls.end(), tok.text) != kD1Calls.end() &&
+        (is_std_qualified(code, i) || is_bare_call(code, i))) {
+      std::ostringstream os;
+      os << "nondeterminism source `" << tok.text
+         << "` in deterministic path (seeded state must come from config, not "
+            "the environment or the clock)";
+      emit(out, path, tok, Rule::kD1, os.str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------- D2 -------
+
+constexpr std::array<std::string_view, 4> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+void rule_d2(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  if (!is_d2_path(path)) return;
+  for (const Token& tok : code) {
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (std::find(kUnorderedContainers.begin(), kUnorderedContainers.end(), tok.text) !=
+        kUnorderedContainers.end()) {
+      std::ostringstream os;
+      os << "`std::" << tok.text
+         << "` in deterministic path: iteration order is implementation-defined and leaks into "
+            "traces (use std::map / sorted vector, or suppress with a proof the order never "
+            "escapes)";
+      emit(out, path, tok, Rule::kD2, os.str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------- D3 -------
+
+constexpr std::array<std::string_view, 20> kStdRandomNames = {
+    "mt19937",
+    "mt19937_64",
+    "minstd_rand",
+    "minstd_rand0",
+    "ranlux24",
+    "ranlux48",
+    "knuth_b",
+    "default_random_engine",
+    "random_device",
+    "uniform_int_distribution",
+    "uniform_real_distribution",
+    "normal_distribution",
+    "bernoulli_distribution",
+    "binomial_distribution",
+    "poisson_distribution",
+    "exponential_distribution",
+    "geometric_distribution",
+    "discrete_distribution",
+    "piecewise_constant_distribution",
+    "piecewise_linear_distribution",
+};
+
+void rule_d3(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  if (is_rng_home(path)) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& tok = code[i];
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (std::find(kStdRandomNames.begin(), kStdRandomNames.end(), tok.text) !=
+        kStdRandomNames.end()) {
+      std::ostringstream os;
+      os << "`std::" << tok.text
+         << "` outside src/support/rng: std engines/distributions are implementation-defined; "
+            "draw through the seeded pcf::Rng API to preserve the documented stream layout";
+      emit(out, path, tok, Rule::kD3, os.str());
+      continue;
+    }
+    // #include <random> — tokens are `#` `include` `<` `random` `>`
+    if (is_ident(tok, "random") && i >= 3 && i + 1 < code.size() &&
+        is_punct(code[i - 3], "#") && is_ident(code[i - 2], "include") &&
+        is_punct(code[i - 1], "<") && is_punct(code[i + 1], ">")) {
+      emit(out, path, tok, Rule::kD3,
+           "#include <random> outside src/support/rng: all randomness flows through pcf::Rng");
+    }
+  }
+}
+
+// ---------------------------------------------------------------- R1 -------
+
+/// The fault-hook set every Reducer subclass must declare explicitly. The
+/// base class gives on_link_up a benign no-op default — exactly the silent
+/// inheritance that would let a new algorithm pass the differential harness
+/// while ignoring recoveries, which is why declaration is mandatory.
+constexpr std::array<std::string_view, 3> kRequiredHooks = {"on_link_down", "on_link_up",
+                                                            "update_data"};
+
+/// Skips a balanced `<...>` template argument list starting at `i` (which
+/// must point at `<`). Returns the index one past the closing `>`. Treats
+/// `>>` as two closers (C++11 rule).
+[[nodiscard]] std::size_t skip_template_args(const std::vector<Token>& code, std::size_t i) {
+  int depth = 0;
+  while (i < code.size()) {
+    const Token& tok = code[i];
+    if (is_punct(tok, "<")) {
+      ++depth;
+    } else if (is_punct(tok, ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(tok, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (is_punct(tok, ";") || is_punct(tok, "{")) {
+      return i;  // malformed; bail out without consuming the body
+    }
+    ++i;
+  }
+  return i;
+}
+
+void rule_r1(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if (!(is_ident(code[i], "class") || is_ident(code[i], "struct"))) continue;
+    if (i > 0 && is_ident(code[i - 1], "enum")) continue;
+    std::size_t j = i + 1;
+    if (j >= code.size() || code[j].kind != TokenKind::kIdentifier) continue;
+    const Token& name = code[j];
+    ++j;
+    if (j < code.size() && is_ident(code[j], "final")) ++j;
+    if (j >= code.size() || !is_punct(code[j], ":")) continue;  // no base clause
+    ++j;
+
+    // Walk the base-specifier list up to `{`; find whether any base's
+    // terminal identifier (before its template args, after its qualifiers)
+    // is `Reducer`.
+    bool derives_reducer = false;
+    std::string_view last_ident;
+    while (j < code.size() && !is_punct(code[j], "{") && !is_punct(code[j], ";")) {
+      const Token& tok = code[j];
+      if (tok.kind == TokenKind::kIdentifier) {
+        last_ident = tok.text;
+        ++j;
+      } else if (is_punct(tok, "<")) {
+        j = skip_template_args(code, j);
+        last_ident = {};  // a template base's own args are not the base name
+      } else if (is_punct(tok, ",")) {
+        if (last_ident == "Reducer") derives_reducer = true;
+        last_ident = {};
+        ++j;
+      } else {
+        ++j;
+      }
+    }
+    if (last_ident == "Reducer") derives_reducer = true;
+    if (!derives_reducer || j >= code.size() || !is_punct(code[j], "{")) continue;
+
+    // Collect `ident (` declarators at class-body depth 1.
+    std::vector<std::string_view> declared;
+    int depth = 0;
+    std::size_t k = j;
+    for (; k < code.size(); ++k) {
+      if (is_punct(code[k], "{")) {
+        ++depth;
+      } else if (is_punct(code[k], "}")) {
+        if (--depth == 0) break;
+      } else if (depth == 1 && code[k].kind == TokenKind::kIdentifier && k + 1 < code.size() &&
+                 is_punct(code[k + 1], "(")) {
+        declared.push_back(code[k].text);
+      }
+    }
+
+    std::vector<std::string_view> missing;
+    for (const auto hook : kRequiredHooks) {
+      if (std::find(declared.begin(), declared.end(), hook) == declared.end()) {
+        missing.push_back(hook);
+      }
+    }
+    if (!missing.empty()) {
+      std::ostringstream os;
+      os << "class `" << name.text << "` derives from Reducer but does not declare ";
+      for (std::size_t m = 0; m < missing.size(); ++m) {
+        os << (m ? ", " : "") << missing[m];
+      }
+      os << " — a silently inherited no-op fault hook would pass the differential harness "
+            "while ignoring faults";
+      emit(out, path, name, Rule::kR1, os.str());
+    }
+    i = k;  // resume after the class body
+  }
+}
+
+// ---------------------------------------------------------------- F1 -------
+
+/// True for floating-point literals (contains '.', a decimal exponent, or a
+/// hex-float 'p' exponent).
+[[nodiscard]] bool is_float_literal(const Token& tok) noexcept {
+  if (tok.kind != TokenKind::kNumber) return false;
+  const bool hex = starts_with(tok.text, "0x") || starts_with(tok.text, "0X");
+  for (const char c : tok.text) {
+    if (c == '.') return true;
+    if (!hex && (c == 'e' || c == 'E')) return true;
+    if (hex && (c == 'p' || c == 'P')) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] bool is_zero_literal(const Token& tok) {
+  const std::string text(tok.text);
+  // Exact comparison against 0.0 is the sentinel idiom F1 itself sanctions.
+  return std::strtod(text.c_str(), nullptr) == 0.0;
+}
+
+void rule_f1(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  if (is_f1_state_path(path)) {
+    for (const Token& tok : code) {
+      if (is_ident(tok, "float")) {
+        emit(out, path, tok, Rule::kF1,
+             "`float` in numeric-state path: the paper's accuracy claims are about double "
+             "cancellation behavior — use double");
+      }
+    }
+  }
+  if (is_oracle_path(path)) return;  // oracles compare exact expected values by design
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!(is_punct(code[i], "==") || is_punct(code[i], "!="))) continue;
+    for (const std::size_t side : {i - 1, i + 1}) {
+      if (side >= code.size()) continue;
+      const Token& operand = code[side];
+      if (is_float_literal(operand) && !is_zero_literal(operand)) {
+        std::ostringstream os;
+        os << "`" << code[i].text << "` against floating literal " << operand.text
+           << ": exact comparison is only sanctioned against the 0.0 sentinel — compare with a "
+              "tolerance or restructure";
+        emit(out, path, code[i], Rule::kF1, os.str());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_rules(std::string_view path, const std::vector<Token>& code, const Options& options,
+               std::vector<Diagnostic>& out) {
+  if (options.rule_enabled(Rule::kD1)) rule_d1(path, code, out);
+  if (options.rule_enabled(Rule::kD2)) rule_d2(path, code, out);
+  if (options.rule_enabled(Rule::kD3)) rule_d3(path, code, out);
+  if (options.rule_enabled(Rule::kR1)) rule_r1(path, code, out);
+  if (options.rule_enabled(Rule::kF1)) rule_f1(path, code, out);
+}
+
+}  // namespace pcf::lint::detail

@@ -1,0 +1,20 @@
+// Internal interface between the pcflow-lint driver (lint.cpp) and the rule
+// implementations (rules.cpp). Not installed; include only from src/tools/lint.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "support/lexer.hpp"
+#include "tools/lint/lint.hpp"
+
+namespace pcf::lint::detail {
+
+/// Runs every enabled code rule over one file. `code` is the token stream
+/// with comments already stripped (rules must never fire inside comments or
+/// literals; the lexer guarantees the latter, the driver the former).
+/// Appends raw diagnostics — the driver applies suppressions afterwards.
+void run_rules(std::string_view path, const std::vector<lex::Token>& code,
+               const Options& options, std::vector<Diagnostic>& out);
+
+}  // namespace pcf::lint::detail

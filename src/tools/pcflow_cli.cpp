@@ -18,6 +18,11 @@
 // algorithm × topology cells and reports recovery / survival quantiles:
 //
 //   pcflow chaos --fast --out=CHAOS_pcflow.json
+//
+// The `lint` subcommand runs the project's static-analysis rules
+// (determinism, RNG-stream and reducer-protocol discipline):
+//
+//   pcflow lint --root=. --list-rules
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +36,7 @@
 #include "sim/reduce.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "tools/lint/lint.hpp"
 
 namespace pcf {
 namespace {
@@ -112,6 +118,9 @@ int run_cli(int argc, const char* const* argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
     return run_chaos_cli(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
+    return lint::run_cli(argc - 1, argv + 1);
   }
   CliFlags flags;
   flags.define("topology", std::string("hypercube:6"),

@@ -1,0 +1,25 @@
+// D1 fixture: every nondeterminism source the rule must catch, plus the
+// look-alikes it must NOT flag. tests/lint/test_lint.cpp asserts the exact
+// rule IDs and line numbers below — keep line positions stable when editing.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+struct View {
+  double time() const { return 0.0; }  // declaration + member: not a call of ::time
+};
+
+double fixture() {
+  View view;
+  double acc = view.time();                              // member access: clean
+  acc += static_cast<double>(std::time(nullptr));        // line 15: D1 (std::time)
+  acc += static_cast<double>(time(nullptr));             // line 16: D1 (bare call)
+  auto tp = std::chrono::steady_clock::now();            // line 17: D1 (steady_clock)
+  auto wall = std::chrono::system_clock::now();          // line 18: D1 (system_clock)
+  const char* home = std::getenv("HOME");                // line 19: D1 (getenv)
+  acc += static_cast<double>(rand());                    // line 20: D1 (rand)
+  (void)tp;
+  (void)wall;
+  (void)home;
+  return acc;
+}

@@ -1,0 +1,32 @@
+// R1 fixture: Reducer subclasses with and without the full fault-hook set.
+// The lint rule is lexical — these fake declarations never compile against
+// the real core/reducer.hpp and do not need to.
+#pragma once
+
+struct NodeId {};
+struct Mass {};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void on_link_down(NodeId j) = 0;
+  virtual void on_link_up(NodeId j) {}
+  virtual void update_data(const Mass& delta) = 0;
+};
+
+class ForgetfulReducer : public Reducer {  // line 17: R1 (no on_link_up/update_data)
+ public:
+  void on_link_down(NodeId j) override;
+};
+
+class CompleteReducer final : public Reducer {  // clean: declares all hooks
+ public:
+  void on_link_down(NodeId j) override;
+  void on_link_up(NodeId j) override;
+  void update_data(const Mass& delta) override;
+};
+
+class Unrelated {  // clean: not a Reducer
+ public:
+  void nothing();
+};

@@ -1,0 +1,14 @@
+// LNT fixture: suppression hygiene. A reasonless allow, an unknown rule and
+// an unused allow must each produce an LNT diagnostic; the reasonless allow
+// must NOT silence the underlying D1 finding.
+#include <cstdlib>
+
+int fixture() {
+  // pcflow-lint: allow(D1)
+  const char* a = std::getenv("A");  // line 8: D1 still fires (no reason given)
+  // pcflow-lint: allow(D9) not a rule
+  const char* b = std::getenv("B");  // line 10: D1 fires (allow names unknown rule)
+  // pcflow-lint: allow(D2) nothing on the next line iterates anything
+  const char* c = std::getenv("C");  // line 12: D1 fires; the D2 allow is unused
+  return (a != nullptr) + (b != nullptr) + (c != nullptr);
+}

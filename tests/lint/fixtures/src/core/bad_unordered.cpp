@@ -1,0 +1,14 @@
+// D2 fixture: unordered containers in a deterministic path. One naked use
+// (must fire) and one declaration with a reasoned suppression (must not).
+// The includes themselves fire too — pulling the header in is the first leak.
+#include <unordered_map>  // line 4: D2
+#include <unordered_set>  // line 5: D2
+
+int fixture() {
+  std::unordered_map<int, int> order_leaks;  // line 8: D2
+  // pcflow-lint: allow(D2) lookup-only cache; nothing ever iterates it
+  std::unordered_set<int> lookup_only;
+  order_leaks[1] = 2;
+  lookup_only.insert(3);
+  return static_cast<int>(order_leaks.size() + lookup_only.size());
+}

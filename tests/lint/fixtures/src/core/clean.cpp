@@ -1,0 +1,18 @@
+// Clean fixture: deterministic-path code that exercises the rules'
+// look-alikes without violating any of them.
+#include <map>
+
+struct Clock {
+  double time() const { return now_; }  // member named `time`: not ::time
+  double now_ = 0.0;
+};
+
+double fixture() {
+  std::map<int, double> ordered;  // ordered container: fine in deterministic paths
+  ordered[1] = 2.5;
+  Clock clock;
+  double total = clock.time();
+  for (const auto& [k, v] : ordered) total += v * k;
+  if (total == 0.0) return 1.0;  // zero sentinel: sanctioned
+  return total;
+}

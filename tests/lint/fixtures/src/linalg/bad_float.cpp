@@ -1,0 +1,10 @@
+// F1 fixture: float in numeric state, equality against nonzero float
+// literals. Comparison against the exact-zero sentinel must stay clean.
+double fixture(double a, double b) {
+  float truncated = static_cast<float>(a);  // line 4: F1 (x2: type + cast)
+  if (a == 1.5) return b;                   // line 5: F1 (eq vs nonzero literal)
+  if (b != 2.0e-3) return a;                // line 6: F1 (neq vs nonzero literal)
+  if (a == 0.0) return 0.0;                 // clean: zero sentinel
+  if (a == b) return a;                     // clean: lexical rule sees no literal
+  return static_cast<double>(truncated);
+}

@@ -1,0 +1,9 @@
+// D3 fixture: std random machinery outside src/support/rng. The include, the
+// engine and the distribution must each fire separately.
+#include <random>  // line 3: D3 (include)
+
+double fixture() {
+  std::mt19937 gen(42);                                // line 6: D3 (engine)
+  std::uniform_real_distribution<double> dist(0, 1);   // line 7: D3 (distribution)
+  return dist(gen);
+}

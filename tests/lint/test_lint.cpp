@@ -1,0 +1,299 @@
+// Tests for pcflow-lint: the fixture tree under tests/lint/fixtures is a
+// miniature project whose violations are annotated line by line; this suite
+// asserts the exact (file, line, rule) tuples the tool reports, that
+// suppressions suppress (and misbehaving ones do not), that rule toggles
+// work, and that two runs over the same tree produce byte-identical reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/check.hpp"
+#include "tools/lint/lint.hpp"
+
+namespace pcf::lint {
+namespace {
+
+// Set by tests/CMakeLists.txt; points at tests/lint/fixtures in the source tree.
+constexpr const char* kFixtureDir = PCF_LINT_FIXTURE_DIR;
+
+/// Compact (file, line, rule) view of a diagnostic list for exact matching.
+[[nodiscard]] std::vector<std::string> keys(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  out.reserve(diags.size());
+  for (const auto& d : diags) {
+    out.push_back(d.file + ":" + std::to_string(d.line) + ":" + std::string(to_string(d.rule)));
+  }
+  return out;
+}
+
+[[nodiscard]] std::vector<std::string> lint_keys(std::string_view path, std::string_view src,
+                                                 const Options& options = {}) {
+  return keys(lint_source(path, src, options));
+}
+
+// ------------------------------------------------------------ fixtures -----
+
+TEST(LintFixtures, WholeTreeMatchesAnnotations) {
+  const RunResult result = run_directory(kFixtureDir);
+  EXPECT_EQ(result.files_scanned, 7u);
+  const std::vector<std::string> expected = {
+      "src/core/bad_clock.cpp:15:D1",      // std::time
+      "src/core/bad_clock.cpp:16:D1",      // bare time( call
+      "src/core/bad_clock.cpp:17:D1",      // steady_clock
+      "src/core/bad_clock.cpp:18:D1",      // system_clock
+      "src/core/bad_clock.cpp:19:D1",      // getenv
+      "src/core/bad_clock.cpp:20:D1",      // rand
+      "src/core/bad_reducer.hpp:17:R1",    // ForgetfulReducer misses two hooks
+      "src/core/bad_suppress.cpp:7:LNT",   // allow without reason
+      "src/core/bad_suppress.cpp:8:D1",    // ...so the D1 still fires
+      "src/core/bad_suppress.cpp:9:LNT",   // allow names unknown rule D9
+      "src/core/bad_suppress.cpp:10:D1",   // ...so the D1 still fires
+      "src/core/bad_suppress.cpp:11:LNT",  // unused D2 allow
+      "src/core/bad_suppress.cpp:12:D1",   // the allow targeted the wrong rule
+      "src/core/bad_unordered.cpp:4:D2",   // #include <unordered_map>
+      "src/core/bad_unordered.cpp:5:D2",   // #include <unordered_set>
+      "src/core/bad_unordered.cpp:8:D2",   // naked declaration
+      "src/linalg/bad_float.cpp:4:F1",     // float type
+      "src/linalg/bad_float.cpp:4:F1",     // static_cast<float>
+      "src/linalg/bad_float.cpp:5:F1",     // == 1.5
+      "src/linalg/bad_float.cpp:6:F1",     // != 2.0e-3
+      "src/sim/bad_rng.cpp:3:D3",          // #include <random>
+      "src/sim/bad_rng.cpp:6:D3",          // std::mt19937
+      "src/sim/bad_rng.cpp:7:D3",          // std::uniform_real_distribution
+  };
+  EXPECT_EQ(keys(result.diagnostics), expected);
+}
+
+TEST(LintFixtures, CleanFileIsClean) {
+  const RunResult result = run_files(kFixtureDir, {"src/core/clean.cpp"});
+  EXPECT_EQ(result.files_scanned, 1u);
+  EXPECT_TRUE(result.diagnostics.empty()) << format_report(result);
+}
+
+TEST(LintFixtures, ReportIsByteDeterministic) {
+  const std::string a = format_report(run_directory(kFixtureDir));
+  const std::string b = format_report(run_directory(kFixtureDir));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("pcflow-lint: 7 file(s) scanned, 23 diagnostic(s)"), std::string::npos) << a;
+}
+
+// ------------------------------------------------------------- scoping -----
+
+TEST(LintScoping, D1OnlyFiresInDeterministicPaths) {
+  const std::string_view src = "int f() { return std::rand(); }\n";
+  EXPECT_EQ(lint_keys("src/core/a.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/sim/a.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/net/a.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/bench/a.cpp", src).size(), 1u);
+  // The CLI, support and tools layers may read the environment / clock.
+  EXPECT_TRUE(lint_keys("src/tools/a.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/support/a.cpp", src).empty());
+}
+
+TEST(LintScoping, D2AlsoCoversRuntimeAndLinalg) {
+  const std::string_view src = "std::unordered_map<int, int> m;\n";
+  EXPECT_EQ(lint_keys("src/runtime/a.cpp", src), (std::vector<std::string>{
+                                                     "src/runtime/a.cpp:1:D2"}));
+  EXPECT_EQ(lint_keys("src/linalg/a.cpp", src).size(), 1u);
+  EXPECT_TRUE(lint_keys("src/support/a.cpp", src).empty());
+}
+
+TEST(LintScoping, D3AllowsOnlyTheRngModule) {
+  const std::string_view src = "std::mt19937 gen(1);\n";
+  EXPECT_TRUE(lint_keys("src/support/rng.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/support/rng.hpp", src).empty());
+  EXPECT_EQ(lint_keys("src/support/stats.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/tools/a.cpp", src).size(), 1u);  // D3 is tree-wide
+}
+
+TEST(LintScoping, F1EqualityExemptsOracleFiles) {
+  const std::string_view src = "bool f(double x) { return x == 1.25; }\n";
+  EXPECT_EQ(lint_keys("src/sim/reduce.cpp", src).size(), 1u);
+  EXPECT_TRUE(lint_keys("src/sim/differential.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/linalg/eigen_ref.cpp", src).empty());
+}
+
+// --------------------------------------------------------------- rules -----
+
+TEST(LintRules, D1MemberNamedTimeIsNotACall) {
+  EXPECT_TRUE(lint_keys("src/core/a.cpp", "double f(View v) { return v.time(); }\n").empty());
+  EXPECT_TRUE(lint_keys("src/core/a.cpp", "struct S { double time() const; };\n").empty());
+  EXPECT_EQ(lint_keys("src/core/a.cpp", "long f() { return time(nullptr); }\n").size(), 1u);
+}
+
+TEST(LintRules, D1NeverFiresInCommentsOrStrings) {
+  EXPECT_TRUE(lint_keys("src/core/a.cpp",
+                        "// calling std::rand() would break determinism\n"
+                        "const char* kDoc = \"std::rand() is banned\";\n")
+                  .empty());
+}
+
+TEST(LintRules, R1SeesThroughFinalAndTemplateBases) {
+  // `final`, access specifiers and a template base before Reducer.
+  const std::string_view src =
+      "class Good final : public Mixin<int>, public Reducer {\n"
+      " public:\n"
+      "  void on_link_down(NodeId j) override;\n"
+      "  void on_link_up(NodeId j) override;\n"
+      "  void update_data(const Mass& d) override;\n"
+      "};\n"
+      "class Bad : public Reducer {\n"
+      "  void on_link_down(NodeId j) override;\n"
+      "};\n";
+  EXPECT_EQ(lint_keys("src/core/a.hpp", src),
+            (std::vector<std::string>{"src/core/a.hpp:7:R1"}));
+}
+
+TEST(LintRules, R1IgnoresNonReducerClasses) {
+  EXPECT_TRUE(lint_keys("src/core/a.hpp",
+                        "class A : public Widget {};\n"
+                        "class Reducer { void on_link_down(); };\n"  // the base itself
+                        "enum class Reducer2 : int {};\n")
+                  .empty());
+}
+
+TEST(LintRules, F1ZeroSentinelStaysClean) {
+  EXPECT_TRUE(lint_keys("src/sim/a.cpp", "bool f(double x) { return x == 0.0; }\n").empty());
+  EXPECT_TRUE(lint_keys("src/sim/a.cpp", "bool f(double x) { return x != 0.; }\n").empty());
+  EXPECT_EQ(lint_keys("src/sim/a.cpp", "bool f(double x) { return x == 1e-9; }\n").size(), 1u);
+}
+
+TEST(LintRules, F1FloatKeywordOnlyInStatePaths) {
+  EXPECT_EQ(lint_keys("src/core/a.cpp", "float x = 0;\n").size(), 1u);
+  EXPECT_TRUE(lint_keys("src/sim/a.cpp", "float x = 0;\n").empty());  // D1/D2/D3 path, not F1
+}
+
+// --------------------------------------------------------- suppression -----
+
+TEST(LintSuppression, TrailingCommentCoversItsOwnLine) {
+  EXPECT_TRUE(lint_keys("src/core/a.cpp",
+                        "int f() { return std::rand(); }  "
+                        "// pcflow-lint: allow(D1) fixture exercises the banned call\n")
+                  .empty());
+}
+
+TEST(LintSuppression, StandaloneCommentCoversNextCodeLine) {
+  EXPECT_TRUE(lint_keys("src/core/a.cpp",
+                        "// pcflow-lint: allow(D1) fixture exercises the banned call\n"
+                        "int f() { return std::rand(); }\n")
+                  .empty());
+}
+
+TEST(LintSuppression, MultiRuleAllowCoversBothDiagnostics) {
+  EXPECT_TRUE(lint_keys("src/core/a.cpp",
+                        "// pcflow-lint: allow(D1,D2) both banned things, one proven-safe line\n"
+                        "std::unordered_map<int, int> m; int x = std::rand();\n")
+                  .empty());
+}
+
+TEST(LintSuppression, ReasonlessAllowSuppressesNothing) {
+  const auto got = lint_keys("src/core/a.cpp",
+                             "// pcflow-lint: allow(D1)\n"
+                             "int f() { return std::rand(); }\n");
+  EXPECT_EQ(got, (std::vector<std::string>{"src/core/a.cpp:1:LNT", "src/core/a.cpp:2:D1"}));
+}
+
+TEST(LintSuppression, UnusedAllowIsItselfADiagnostic) {
+  const auto got = lint_keys("src/core/a.cpp",
+                             "// pcflow-lint: allow(D2) nothing here iterates\n"
+                             "int f() { return 1; }\n");
+  EXPECT_EQ(got, (std::vector<std::string>{"src/core/a.cpp:1:LNT"}));
+}
+
+TEST(LintSuppression, LntCannotBeSuppressed) {
+  const auto got = lint_keys("src/core/a.cpp",
+                             "// pcflow-lint: allow(LNT) trying to silence the meta rule\n"
+                             "int f() { return 1; }\n");
+  EXPECT_EQ(got, (std::vector<std::string>{"src/core/a.cpp:1:LNT"}));
+}
+
+TEST(LintSuppression, ProseMentioningTheToolIsNotAnAnnotation) {
+  EXPECT_TRUE(lint_keys("src/core/a.cpp",
+                        "// pcflow-lint is documented in docs/TESTING.md\n"
+                        "// the syntax is `pcflow-lint: allow(<rule>) <reason>`\n"
+                        "int f() { return 1; }\n")
+                  .empty());
+}
+
+TEST(LintSuppression, MalformedAnnotationIsReported) {
+  const auto got = lint_keys("src/core/a.cpp",
+                             "// pcflow-lint: disable(D1) wrong verb\n"
+                             "int f() { return 1; }\n");
+  EXPECT_EQ(got, (std::vector<std::string>{"src/core/a.cpp:1:LNT"}));
+}
+
+// -------------------------------------------------------------- toggles ----
+
+TEST(LintToggles, DisabledRuleDoesNotFire) {
+  Options only_d3;
+  only_d3.enabled = {Rule::kD3};
+  const std::string_view src =
+      "std::unordered_map<int, int> m;\n"
+      "std::mt19937 gen(1);\n";
+  EXPECT_EQ(lint_keys("src/core/a.cpp", src, only_d3),
+            (std::vector<std::string>{"src/core/a.cpp:2:D3"}));
+}
+
+TEST(LintToggles, SuppressionForDisabledRuleIsNotFlaggedUnused) {
+  Options no_d2;
+  no_d2.enabled = {Rule::kD1, Rule::kD3, Rule::kR1, Rule::kF1, Rule::kLnt};
+  EXPECT_TRUE(lint_keys("src/core/a.cpp",
+                        "// pcflow-lint: allow(D2) lookup-only cache\n"
+                        "std::unordered_map<int, int> m;\n",
+                        no_d2)
+                  .empty());
+}
+
+TEST(LintToggles, ParseRuleRoundTripsAndRejectsUnknown) {
+  for (const Rule rule : kAllRules) {
+    EXPECT_EQ(parse_rule(to_string(rule)), rule);
+  }
+  EXPECT_EQ(parse_rule("d1"), Rule::kD1);  // case-insensitive
+  EXPECT_THROW((void)parse_rule("D9"), ContractViolation);
+}
+
+// ------------------------------------------------------------------ cli ----
+
+TEST(LintCli, ExitCodesMatchContract) {
+  const std::string root_flag = std::string("--root=") + kFixtureDir;
+  {
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--quiet"};
+    EXPECT_EQ(run_cli(3, argv), 1);  // fixtures are full of violations
+  }
+  {
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--quiet",
+                          "src/core/clean.cpp"};
+    EXPECT_EQ(run_cli(4, argv), 0);
+  }
+  {
+    const char* argv[] = {"pcflow-lint", "--root=/nonexistent-pcflow-lint-root"};
+    EXPECT_EQ(run_cli(2, argv), 2);
+  }
+  {
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--rules=bogus"};
+    EXPECT_EQ(run_cli(3, argv), 2);
+  }
+}
+
+TEST(LintCli, RuleFilterFlagsWork) {
+  const std::string root_flag = std::string("--root=") + kFixtureDir;
+  {
+    // Only R1: the sole finding is in bad_reducer.hpp, so linting the RNG
+    // fixture is clean.
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--rules=R1", "--quiet",
+                          "src/sim/bad_rng.cpp"};
+    EXPECT_EQ(run_cli(5, argv), 0);
+  }
+  {
+    // Everything but D3: same file, same result.
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--disable=D3,LNT", "--quiet",
+                          "src/sim/bad_rng.cpp"};
+    EXPECT_EQ(run_cli(5, argv), 0);
+  }
+}
+
+}  // namespace
+}  // namespace pcf::lint

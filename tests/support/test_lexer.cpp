@@ -1,0 +1,156 @@
+// Tests for the lightweight C++ tokenizer behind pcflow-lint. The lint rules
+// depend on exactly the properties pinned here: correct token kinds, exact
+// 1-based line/column positions, comments as first-class tokens, and banned
+// names never leaking out of strings, chars or raw strings.
+#include "support/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pcf::lex {
+namespace {
+
+[[nodiscard]] std::vector<std::string> texts(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const Token& t : tokens) out.emplace_back(t.text);
+  return out;
+}
+
+TEST(Lexer, KindsAndPositions) {
+  const std::string src = "int x = 42;\ndouble y = 1.5e-3;\n";
+  const auto tokens = tokenize(src);
+  ASSERT_EQ(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].col, 1u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens[3].col, 9u);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[8].text, "1.5e-3");  // exponent sign stays in the pp-number
+  EXPECT_EQ(tokens[8].line, 2u);
+}
+
+TEST(Lexer, LongestMatchPunctuation) {
+  const auto tokens = tokenize("a::b->c <=> d >>= e == f != g;");
+  const std::vector<std::string> expected = {"a", "::", "b",  "->", "c", "<=>", "d", ">>=",
+                                             "e", "==", "f",  "!=", "g", ";"};
+  EXPECT_EQ(texts(tokens), expected);
+  for (const Token& t : tokens) {
+    if (t.text == "::" || t.text == "<=>" || t.text == ">>=") {
+      EXPECT_EQ(t.kind, TokenKind::kPunct);
+    }
+  }
+}
+
+TEST(Lexer, CommentsAreFirstClassTokens) {
+  const auto tokens = tokenize("x; // trailing note\n/* block\n spans lines */ y;");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[2].text, "// trailing note");
+  EXPECT_EQ(tokens[2].line, 1u);
+  EXPECT_EQ(tokens[2].col, 4u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[3].text, "/* block\n spans lines */");
+  EXPECT_EQ(tokens[3].line, 2u);
+  EXPECT_EQ(tokens[4].text, "y");
+  EXPECT_EQ(tokens[4].line, 3u);  // position tracking continues after the block
+}
+
+TEST(Lexer, BannedNamesInsideLiteralsStayLiterals) {
+  const auto tokens = tokenize(
+      "const char* a = \"std::rand() inside a string\";\n"
+      "char b = 'r';\n"
+      "const char* c = R\"doc(rand() \" unbalanced quote)doc\";\n");
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIdentifier) {
+      EXPECT_NE(t.text, "rand") << "identifier leaked out of a literal";
+    }
+  }
+  EXPECT_EQ(tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[10].kind, TokenKind::kChar);
+  EXPECT_EQ(tokens[10].text, "'r'");
+}
+
+TEST(Lexer, EscapedQuotesDoNotEndLiterals) {
+  const auto tokens = tokenize("const char* s = \"a \\\" b\"; int x;");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[5].text, "\"a \\\" b\"");
+  EXPECT_EQ(tokens[7].text, "int");
+}
+
+TEST(Lexer, EncodingPrefixesStaySingleTokens) {
+  const auto tokens = tokenize("auto a = u8\"x\"; auto b = L'\\0'; auto c = UR\"(y)\";");
+  std::size_t strings = 0;
+  std::size_t chars = 0;
+  for (const Token& t : tokens) {
+    strings += t.kind == TokenKind::kString ? 1u : 0u;
+    chars += t.kind == TokenKind::kChar ? 1u : 0u;
+    EXPECT_NE(t.text, "u8");
+    EXPECT_NE(t.text, "L");
+    EXPECT_NE(t.text, "UR");
+  }
+  EXPECT_EQ(strings, 2u);
+  EXPECT_EQ(chars, 1u);
+}
+
+TEST(Lexer, IdentifierEndingInRIsNotARawString) {
+  const auto tokens = tokenize("CHECKR\"not raw\";");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "CHECKR");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+}
+
+TEST(Lexer, BackslashNewlineSplicesTokens) {
+  // Phase-2 splicing: the macro body is one logical line; `rand` split across
+  // a continuation must still come out as one identifier.
+  const auto tokens = tokenize("#define M ra\\\nnd()\nint x;");
+  bool found = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIdentifier && t.text.find("ra") == 0) {
+      found = true;
+      EXPECT_EQ(t.line, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(tokens.back().text, ";");
+  EXPECT_EQ(tokens.back().line, 3u);
+}
+
+TEST(Lexer, NumbersWithSeparatorsAndHexFloats) {
+  const auto tokens = tokenize("auto a = 1'000'000; auto b = 0x1.8p-2; auto c = .5;");
+  std::vector<std::string> numbers;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kNumber) numbers.emplace_back(t.text);
+  }
+  EXPECT_EQ(numbers, (std::vector<std::string>{"1'000'000", "0x1.8p-2", ".5"}));
+}
+
+TEST(Lexer, UnterminatedConstructsCloseAtEof) {
+  // Lint must degrade gracefully on code that does not compile yet.
+  EXPECT_EQ(tokenize("/* never closed").size(), 1u);
+  EXPECT_EQ(tokenize("/* never closed")[0].kind, TokenKind::kComment);
+  const auto tokens = tokenize("\"open string\n next_line");
+  ASSERT_EQ(tokens.size(), 2u);  // string closes at newline, identifier follows
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "next_line");
+}
+
+TEST(Lexer, EmptyAndWhitespaceOnlyInputs) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("  \t\n\r\n").empty());
+}
+
+TEST(Lexer, TokenKindNamesAreStable) {
+  EXPECT_EQ(to_string(TokenKind::kIdentifier), "identifier");
+  EXPECT_EQ(to_string(TokenKind::kComment), "comment");
+}
+
+}  // namespace
+}  // namespace pcf::lex
