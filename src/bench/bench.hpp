@@ -38,6 +38,16 @@ struct Scenario {
   std::size_t trials = 2;
   std::size_t max_rounds = 1500;
   double tol = 1e-9;  ///< oracle max relative error target
+  /// Engine backend: "legacy" (per-node reducers) or "arena" (SoA fleet).
+  std::string engine = "legacy";
+  /// Arena round-loop shards (0 = hardware concurrency). Ignored by legacy.
+  std::size_t shards = 1;
+  /// Delivery model: "sequential" or "crossing" (see sim::Delivery).
+  std::string delivery = "sequential";
+  /// When > 0, run exactly this many rounds (no per-round oracle error scan —
+  /// the scale suites measure raw round throughput) instead of the
+  /// run-until-tol loop. `tol`/`max_rounds` are ignored.
+  std::size_t fixed_rounds = 0;
 };
 
 /// Per-scenario aggregate over its trials.
@@ -58,7 +68,7 @@ struct ScenarioResult {
 };
 
 struct BenchOptions {
-  std::string suite = "fast";  ///< fast | standard
+  std::string suite = "fast";  ///< fast | standard | scale | scale-fast
   std::uint64_t seed = 1;
   std::size_t threads = 1;  ///< trial-runner workers; 0 = hardware concurrency
   /// When false, every "timing" field is emitted as null so that repeated
@@ -77,7 +87,10 @@ struct BenchReport {
 [[nodiscard]] std::uint64_t trial_seed(std::uint64_t suite_seed, std::size_t index);
 
 /// Suite builders. "fast" is the CI smoke suite (9 scenarios, small graphs);
-/// "standard" is the full grid used for performance tracking.
+/// "standard" is the full grid used for performance tracking; "scale" is the
+/// arena-engine throughput suite (torus / random-regular up to 10^6 nodes,
+/// fixed-round runs — the BENCH baseline the CI perf gate diffs against);
+/// "scale-fast" is its CI-sized cut.
 [[nodiscard]] std::vector<Scenario> make_suite(const std::string& name);
 
 /// Runs every scenario of `options.suite` (parallel over trials). Results are

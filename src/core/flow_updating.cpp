@@ -43,17 +43,21 @@ double FlowUpdating::estimate(std::size_t k) const { return fused().estimate(k);
 
 std::optional<Outgoing> FlowUpdating::make_message(Rng& rng) {
   PCF_CHECK_MSG(initialized_, "make_message before init");
-  const auto target = neighbors_.pick_live(rng);
-  if (!target) return std::nullopt;
-  return make_message_to(*target);
+  // Sampling yields the slot directly — no id -> slot re-lookup on the hot
+  // send path (the sampled slot is live by construction).
+  const auto slot = neighbors_.pick_live_slot(rng);
+  if (!slot) return std::nullopt;
+  return send_to_slot(*slot);
 }
 
 std::optional<Outgoing> FlowUpdating::make_message_to(NodeId target) {
   PCF_CHECK_MSG(initialized_, "make_message before init");
   const auto slot_opt = neighbors_.slot_of(target);
   if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return std::nullopt;
-  const std::size_t slot = *slot_opt;
+  return send_to_slot(*slot_opt);
+}
 
+std::optional<Outgoing> FlowUpdating::send_to_slot(std::size_t slot) {
   const Mass a = fused();
   // Move the neighbor's view toward the fused estimate: after the update the
   // mass routed over this edge reflects ê_j := a.
@@ -64,7 +68,7 @@ std::optional<Outgoing> FlowUpdating::make_message_to(NodeId target) {
   have_estimate_[slot] = true;
 
   Outgoing out;
-  out.to = target;
+  out.to = neighbors_.id_at(slot);
   out.packet.a = flows_[slot];  // idempotent flow — retransmission-safe
   out.packet.b = a;             // sender's fused estimate
   return out;

@@ -54,6 +54,7 @@ class FlowUpdating final : public Reducer {
   [[nodiscard]] Mass unreceived_mass(NodeId from, const Packet& packet) const override;
 
  private:
+  [[nodiscard]] std::optional<Outgoing> send_to_slot(std::size_t slot);
   /// Component-wise fused average over own mass and live neighbor estimates.
   [[nodiscard]] Mass fused() const;
 

@@ -1,9 +1,18 @@
 // Shared per-node neighbor bookkeeping for reducer implementations: sorted
 // id -> slot lookup, liveness flags, and uniform sampling among live
 // neighbors.
+//
+// The live set is stored as *slot indices* (ascending). Because ids_ is
+// sorted, ascending slots and ascending ids induce the same order, so the
+// uniform draw in pick_live()/pick_live_slot() selects the same neighbor for
+// the same RNG state as the historical id-keyed implementation — golden
+// traces do not move. Storing slots lets the hot send path go straight from
+// the sample to per-slot flow storage without re-running the O(log degree)
+// id lookup that slot_of() does (the "latent map lookup" this layout fixes).
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -21,14 +30,15 @@ class NeighborSet {
     std::sort(ids_.begin(), ids_.end());
     PCF_CHECK_MSG(std::adjacent_find(ids_.begin(), ids_.end()) == ids_.end(),
                   "duplicate neighbor id");
-    alive_.assign(ids_.size(), true);
-    live_ = ids_;
+    alive_.assign(ids_.size(), 1);
+    live_slots_.resize(ids_.size());
+    for (std::uint32_t s = 0; s < live_slots_.size(); ++s) live_slots_[s] = s;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
-  [[nodiscard]] std::size_t live_count() const noexcept { return live_.size(); }
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_slots_.size(); }
   [[nodiscard]] net::NodeId id_at(std::size_t slot) const noexcept { return ids_[slot]; }
-  [[nodiscard]] bool alive_at(std::size_t slot) const noexcept { return alive_[slot]; }
+  [[nodiscard]] bool alive_at(std::size_t slot) const noexcept { return alive_[slot] != 0; }
 
   /// Slot index of neighbor `j`, or nullopt if j is not a neighbor.
   [[nodiscard]] std::optional<std::size_t> slot_of(net::NodeId j) const noexcept {
@@ -37,38 +47,52 @@ class NeighborSet {
     return static_cast<std::size_t>(it - ids_.begin());
   }
 
+  /// Uniformly random live neighbor's slot, or nullopt if none are left.
+  /// Draws exactly one rng.below(live_count()) when the live set is
+  /// non-empty, nothing otherwise — the reducers' RNG-stream contract.
+  [[nodiscard]] std::optional<std::size_t> pick_live_slot(Rng& rng) const noexcept {
+    if (live_slots_.empty()) return std::nullopt;
+    return static_cast<std::size_t>(
+        live_slots_[static_cast<std::size_t>(rng.below(live_slots_.size()))]);
+  }
+
   /// Uniformly random live neighbor, or nullopt if none are left.
   [[nodiscard]] std::optional<net::NodeId> pick_live(Rng& rng) const noexcept {
-    if (live_.empty()) return std::nullopt;
-    return live_[static_cast<std::size_t>(rng.below(live_.size()))];
+    const auto slot = pick_live_slot(rng);
+    if (!slot) return std::nullopt;
+    return ids_[*slot];
   }
 
   /// Marks neighbor j dead; returns its slot if it was alive, nullopt if it
   /// was unknown or already dead (duplicate failure notifications are benign).
   std::optional<std::size_t> mark_dead(net::NodeId j) {
     const auto slot = slot_of(j);
-    if (!slot || !alive_[*slot]) return std::nullopt;
-    alive_[*slot] = false;
-    live_.erase(std::remove(live_.begin(), live_.end(), j), live_.end());
+    if (!slot || alive_[*slot] == 0) return std::nullopt;
+    alive_[*slot] = 0;
+    const auto s = static_cast<std::uint32_t>(*slot);
+    live_slots_.erase(
+        std::lower_bound(live_slots_.begin(), live_slots_.end(), s));
     return slot;
   }
 
   /// Marks neighbor j alive again (link heal / rejoin); returns its slot if
   /// it was dead, nullopt if it was unknown or already alive (duplicate
-  /// recovery notifications are benign). live_ stays sorted, so pick_live
-  /// sampling is deterministic regardless of the heal order.
+  /// recovery notifications are benign). live_slots_ stays sorted, so
+  /// pick_live sampling is deterministic regardless of the heal order.
   std::optional<std::size_t> mark_alive(net::NodeId j) {
     const auto slot = slot_of(j);
-    if (!slot || alive_[*slot]) return std::nullopt;
-    alive_[*slot] = true;
-    live_.insert(std::lower_bound(live_.begin(), live_.end(), j), j);
+    if (!slot || alive_[*slot] != 0) return std::nullopt;
+    alive_[*slot] = 1;
+    const auto s = static_cast<std::uint32_t>(*slot);
+    live_slots_.insert(
+        std::lower_bound(live_slots_.begin(), live_slots_.end(), s), s);
     return slot;
   }
 
  private:
-  std::vector<net::NodeId> ids_;  // sorted
-  std::vector<bool> alive_;
-  std::vector<net::NodeId> live_;
+  std::vector<net::NodeId> ids_;            // sorted
+  std::vector<std::uint8_t> alive_;         // per-slot, branch-friendly
+  std::vector<std::uint32_t> live_slots_;   // sorted ascending
 };
 
 }  // namespace pcf::core

@@ -48,16 +48,22 @@ Mass PushCancelFlow::local_mass() const {
 
 std::optional<Outgoing> PushCancelFlow::make_message(Rng& rng) {
   PCF_CHECK_MSG(initialized_, "make_message before init");
-  const auto target = neighbors_.pick_live(rng);
-  if (!target) return std::nullopt;
-  return make_message_to(*target);
+  // Sampling yields the slot directly — no id -> slot re-lookup on the hot
+  // send path (the sampled slot is live by construction).
+  const auto slot = neighbors_.pick_live_slot(rng);
+  if (!slot) return std::nullopt;
+  return send_to_slot(*slot);
 }
 
 std::optional<Outgoing> PushCancelFlow::make_message_to(NodeId target) {
   PCF_CHECK_MSG(initialized_, "make_message before init");
   const auto slot_opt = neighbors_.slot_of(target);
   if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return std::nullopt;
-  EdgeState& edge = edges_[*slot_opt];
+  return send_to_slot(*slot_opt);
+}
+
+std::optional<Outgoing> PushCancelFlow::send_to_slot(std::size_t slot) {
+  EdgeState& edge = edges_[slot];
 
   // Identical to PF but applied to the edge's *active* slot only.
   const Mass half = local_mass().half();
@@ -65,7 +71,7 @@ std::optional<Outgoing> PushCancelFlow::make_message_to(NodeId target) {
   if (config_.pcf_variant == PcfVariant::kFast) phi_ += half;
 
   Outgoing out;
-  out.to = target;
+  out.to = neighbors_.id_at(slot);
   out.packet.a = edge.flow[0];
   out.packet.b = edge.flow[1];
   out.packet.active_slot = static_cast<std::uint8_t>(edge.active + 1);  // wire: 1-based

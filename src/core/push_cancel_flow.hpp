@@ -116,6 +116,8 @@ class PushCancelFlow final : public Reducer {
     Mass pending_absorbed;
   };
 
+  [[nodiscard]] std::optional<Outgoing> send_to_slot(std::size_t slot);
+
   /// Mirrors `received` into our `slot` of `edge`, with ϕ accounting.
   void mirror_slot(EdgeState& edge, std::uint8_t slot, const Mass& received);
   /// Absorbs the passive slot into ϕ and zeroes it.

@@ -33,16 +33,21 @@ Mass PushFlow::local_mass() const {
 
 std::optional<Outgoing> PushFlow::make_message(Rng& rng) {
   PCF_CHECK_MSG(initialized_, "make_message before init");
-  const auto target = neighbors_.pick_live(rng);
-  if (!target) return std::nullopt;
-  return make_message_to(*target);
+  // Sampling yields the slot directly — no id -> slot re-lookup on the hot
+  // send path (the sampled slot is live by construction).
+  const auto slot = neighbors_.pick_live_slot(rng);
+  if (!slot) return std::nullopt;
+  return send_to_slot(*slot);
 }
 
 std::optional<Outgoing> PushFlow::make_message_to(NodeId target) {
   PCF_CHECK_MSG(initialized_, "make_message before init");
   const auto slot_opt = neighbors_.slot_of(target);
   if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return std::nullopt;
-  const std::size_t slot = *slot_opt;
+  return send_to_slot(*slot_opt);
+}
+
+std::optional<Outgoing> PushFlow::send_to_slot(std::size_t slot) {
   // Virtual send: fold half of the current mass into the flow, then transmit
   // the whole flow variable (physical send). Losing the packet loses nothing:
   // the flow still records the intent and is retransmitted next time.
@@ -50,7 +55,7 @@ std::optional<Outgoing> PushFlow::make_message_to(NodeId target) {
   flows_[slot] += half;
   if (config_.pf_cached_flow_sum) cached_flow_sum_ += half;
   Outgoing out;
-  out.to = target;
+  out.to = neighbors_.id_at(slot);
   out.packet.a = flows_[slot];
   return out;
 }

@@ -50,6 +50,7 @@ class PushFlow final : public Reducer {
   [[nodiscard]] const Mass& flow_to(NodeId j) const;
 
  private:
+  [[nodiscard]] std::optional<Outgoing> send_to_slot(std::size_t slot);
   [[nodiscard]] Mass flow_sum() const;
 
   ReducerConfig config_;

@@ -12,21 +12,27 @@ void PushSum::init(NodeId /*self*/, std::span<const NodeId> neighbors, Mass init
 
 std::optional<Outgoing> PushSum::make_message(Rng& rng) {
   PCF_CHECK_MSG(initialized_, "make_message before init");
-  const auto target = neighbors_.pick_live(rng);
-  if (!target) return std::nullopt;
-  return make_message_to(*target);
+  // Sampling yields the slot directly — no id -> slot re-lookup on the hot
+  // send path (the sampled slot is live by construction).
+  const auto slot = neighbors_.pick_live_slot(rng);
+  if (!slot) return std::nullopt;
+  return send_to_slot(*slot);
 }
 
 std::optional<Outgoing> PushSum::make_message_to(NodeId target) {
   PCF_CHECK_MSG(initialized_, "make_message before init");
   const auto slot = neighbors_.slot_of(target);
   if (!slot || !neighbors_.alive_at(*slot)) return std::nullopt;
+  return send_to_slot(*slot);
+}
+
+std::optional<Outgoing> PushSum::send_to_slot(std::size_t slot) {
   // Keep half, push half. The pushed mass leaves this node immediately; if
   // the packet is lost, the mass is gone — that is push-sum's fragility.
   const Mass share = mass_.half();
   mass_ -= share;
   Outgoing out;
-  out.to = target;
+  out.to = neighbors_.id_at(slot);
   out.packet.a = share;
   return out;
 }

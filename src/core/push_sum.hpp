@@ -33,6 +33,8 @@ class PushSum final : public Reducer {
   [[nodiscard]] bool in_flight_mass_accumulates() const noexcept override { return true; }
 
  private:
+  [[nodiscard]] std::optional<Outgoing> send_to_slot(std::size_t slot);
+
   ReducerConfig config_;
   NeighborSet neighbors_;
   Mass mass_;

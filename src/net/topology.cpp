@@ -188,7 +188,14 @@ Topology Topology::binary_tree(std::size_t n) {
 Topology Topology::random_regular(std::size_t n, std::size_t degree, Rng& rng) {
   PCF_CHECK_MSG(degree >= 1 && degree < n, "regular graph degree out of range");
   PCF_CHECK_MSG((n * degree) % 2 == 0, "n*degree must be even for a regular graph");
-  // Configuration model with full rejection of self loops / multi edges.
+  // Configuration model with edge-swap repair. A straight pairing of the
+  // shuffled stub list contains a self loop or multi edge with probability
+  // approaching 1 as n*degree^2 grows, so rejecting the whole attempt (as this
+  // generator originally did) never terminates at scale. Keep the good pairs
+  // and splice each bad one into a randomly chosen accepted edge instead:
+  // bad (a,b) + accepted (u,v) -> (a,u) + (b,v), which preserves the degree
+  // sequence exactly. A collision-free first shuffle takes the repair-free
+  // path and yields the same graph the rejection sampler did.
   for (int attempt = 0; attempt < 200; ++attempt) {
     std::vector<NodeId> stubs;
     stubs.reserve(n * degree);
@@ -197,24 +204,52 @@ Topology Topology::random_regular(std::size_t n, std::size_t degree, Rng& rng) {
     }
     rng.shuffle(std::span<NodeId>(stubs));
     std::set<Edge> seen;
-    bool ok = true;
+    std::vector<Edge> edges;
+    edges.reserve(stubs.size() / 2);
+    std::vector<NodeId> bad;
     for (std::size_t k = 0; k < stubs.size(); k += 2) {
       const NodeId a = stubs[k];
       const NodeId b = stubs[k + 1];
-      if (a == b || !seen.insert(ordered(a, b)).second) {
-        ok = false;
-        break;
+      if (a != b && seen.insert(ordered(a, b)).second) {
+        edges.push_back(ordered(a, b));
+      } else {
+        bad.push_back(a);
+        bad.push_back(b);
       }
     }
+    bool ok = !edges.empty() || bad.empty();
+    std::size_t swap_budget = 64 + 16 * bad.size();
+    for (std::size_t k = 0; ok && k + 1 < bad.size(); k += 2) {
+      const NodeId a = bad[k];
+      const NodeId b = bad[k + 1];
+      bool placed = false;
+      while (swap_budget > 0 && !placed) {
+        --swap_budget;
+        const std::size_t pick = rng.below(edges.size());
+        const NodeId u = edges[pick].first;
+        const NodeId v = edges[pick].second;
+        const Edge au = ordered(a, u);
+        const Edge bv = ordered(b, v);
+        if (a == u || b == v || au == bv || seen.count(au) != 0 || seen.count(bv) != 0) {
+          continue;
+        }
+        seen.erase(edges[pick]);
+        seen.insert(au);
+        seen.insert(bv);
+        edges[pick] = au;
+        edges.push_back(bv);
+        placed = true;
+      }
+      ok = placed;
+    }
     if (ok) {
-      std::vector<Edge> edges(seen.begin(), seen.end());
+      std::sort(edges.begin(), edges.end());
       Topology t = build(n, std::move(edges),
                          "regular:" + std::to_string(n) + ":" + std::to_string(degree));
       if (t.is_connected()) return t;
     }
   }
-  PCF_CHECK_MSG(false, "random_regular failed to generate a simple connected graph; "
-                       "try a larger degree");
+  PCF_CHECK_MSG(false, "random_regular failed to generate a simple connected graph");
   __builtin_unreachable();
 }
 

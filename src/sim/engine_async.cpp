@@ -40,6 +40,7 @@ struct AsyncEngine::View final : SystemView {
     f.false_detects = engine.false_detects_fired_;
     f.false_clears = engine.false_clears_fired_;
     f.messages_duplicated = engine.duplicates_injected_;
+    f.pending_up_notices = engine.pending_up_notices_;
     return f;
   }
   const AsyncEngine& engine;
@@ -156,6 +157,7 @@ bool AsyncEngine::revive_link(NodeId a, NodeId b) {
   const double due = now_ + config_.faults.detection_delay;
   push({due, Event::Kind::kDetectUp, a, b, 0, 0.0, {}});
   push({due, Event::Kind::kDetectUp, b, a, 0, 0.0, {}});
+  pending_up_notices_ += 2;
   if (config_.faults.churn_fail_prob > 0.0) {
     push({now_ + net_rng_.exponential(config_.faults.churn_fail_prob), Event::Kind::kChurnFail, a,
           b, 0, 0.0, {}});
@@ -285,6 +287,7 @@ void AsyncEngine::handle(const Event& e) {
       return;
     }
     case Event::Kind::kDetectUp: {
+      --pending_up_notices_;
       // Report "up" only if the link did not die again during the delay.
       if (alive_[e.a] && dead_links_.count(norm_edge(e.a, e.b)) == 0) {
         nodes_[e.a]->on_link_up(e.b);

@@ -158,6 +158,7 @@ class AsyncEngine {
   std::size_t delivered_ = 0;
   bool pending_retarget_ = false;
   std::size_t pending_detects_ = 0;  // kDetect events scheduled but not handled
+  std::size_t pending_up_notices_ = 0;  // kDetectUp events scheduled but not handled
   std::unique_ptr<InvariantMonitor> monitor_;
   PerfCounters perf_;
   std::size_t link_failures_fired_ = 0;

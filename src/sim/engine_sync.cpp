@@ -1,8 +1,10 @@
 #include "sim/engine_sync.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 
 namespace pcf::sim {
@@ -12,6 +14,45 @@ std::pair<NodeId, NodeId> norm_edge(NodeId a, NodeId b) {
   return a < b ? std::pair{a, b} : std::pair{b, a};
 }
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Round-phase state backends. The round templates below are written once and
+// instantiated per backend: LegacyOps routes through the per-node virtual
+// Reducer interface, ArenaOps<A> inlines the fleet's flat-array operations
+// (the devirtualized hot path). Both produce identical floating-point
+// operation sequences — the differential suite pins that.
+// ---------------------------------------------------------------------------
+
+struct SyncEngine::LegacyOps {
+  SyncEngine& e;
+  using Send = core::ArenaFleet::Send;
+  std::optional<Send> make(NodeId i) {
+    auto out = e.nodes_[i]->make_message(e.node_rngs_[i]);
+    if (!out) return std::nullopt;
+    Send s;
+    s.to = out->to;
+    s.to_slot = 0;  // legacy on_receive resolves the slot itself
+    s.packet = std::move(out->packet);
+    return s;
+  }
+  void deliver(NodeId to, NodeId from, std::uint32_t /*to_slot*/, const core::Packet& p) {
+    e.nodes_[to]->on_receive(from, p);
+  }
+  [[nodiscard]] std::size_t wire_masses(NodeId i) const { return e.nodes_[i]->wire_masses(); }
+};
+
+template <core::Algorithm A>
+struct SyncEngine::ArenaOps {
+  SyncEngine& e;
+  using Send = core::ArenaFleet::Send;
+  std::optional<Send> make(NodeId i) {
+    return e.fleet_->make_message<A>(i, e.node_rngs_[i]);
+  }
+  void deliver(NodeId to, NodeId from, std::uint32_t to_slot, const core::Packet& p) {
+    e.fleet_->receive<A>(to, from, static_cast<std::size_t>(to_slot), p);
+  }
+  [[nodiscard]] std::size_t wire_masses(NodeId /*i*/) const { return e.fleet_->wire_masses(); }
+};
 
 /// Read-only adapter the invariant checkers observe the engine through.
 struct SyncEngine::View final : SystemView {
@@ -53,6 +94,9 @@ struct SyncEngine::View final : SystemView {
     f.rejoins = engine.rejoins_fired_;
     f.false_detects = engine.false_detects_fired_;
     f.false_clears = engine.false_clears_fired_;
+    for (const auto& n : engine.pending_notices_) {
+      if (n.up) ++f.pending_up_notices;
+    }
     return f;
   }
   const SyncEngine& engine;
@@ -82,12 +126,21 @@ SyncEngine::SyncEngine(net::Topology topology, std::span<const core::Mass> initi
   const Rng base(config_.seed);
   nodes_.reserve(topology.size());
   node_rngs_.reserve(topology.size());
+  if (config_.mode == EngineMode::kArena) {
+    fleet_ = std::make_unique<core::ArenaFleet>(config_.algorithm, config_.reducer, topology_,
+                                                initial);
+  }
   for (NodeId i = 0; i < topology.size(); ++i) {
-    nodes_.push_back(core::make_reducer(config_.algorithm, config_.reducer));
+    if (fleet_) {
+      nodes_.push_back(std::make_unique<core::ArenaReducer>(*fleet_, i));
+    } else {
+      nodes_.push_back(core::make_reducer(config_.algorithm, config_.reducer));
+    }
     nodes_.back()->init(i, topology.neighbors(i), initial[i]);
     node_rngs_.push_back(base.fork(i));
   }
   alive_.assign(topology.size(), true);
+  shards_ = std::max<std::size_t>(1, resolve_thread_count(config_.shards, topology.size()));
 
   // Events fire in time order regardless of the order given in the plan.
   const auto by_time = [](const auto& x, const auto& y) { return x.time < y.time; };
@@ -166,8 +219,14 @@ void SyncEngine::rejoin_node(NodeId node, double physical_time) {
   ++rejoins_fired_;
   // The crashed node's state is gone: rebuild the reducer from the initial
   // mass. Its node RNG stream continues where it left off (a fresh process,
-  // not a replay).
-  nodes_[node] = core::make_reducer(config_.algorithm, config_.reducer);
+  // not a replay). In arena mode the node REUSES its arena rows (reset in
+  // place) — rejoin never grows the arena.
+  if (fleet_) {
+    fleet_->reset_node(node, initial_[node]);
+    nodes_[node] = std::make_unique<core::ArenaReducer>(*fleet_, node);
+  } else {
+    nodes_[node] = core::make_reducer(config_.algorithm, config_.reducer);
+  }
   nodes_[node]->init(node, topology_.neighbors(node), initial_[node]);
   for (const NodeId peer : topology_.neighbors(node)) {
     const auto edge = norm_edge(node, peer);
@@ -371,50 +430,13 @@ std::size_t SyncEngine::step() {
         }
       }
     }
-    for (NodeId i = 0; i < nodes_.size(); ++i) {
-      if (!alive_[i]) continue;
-      auto out = nodes_[i]->make_message(node_rngs_[i]);
-      if (!out) continue;
-      ++stats_.messages_sent;
-      stats_.doubles_sent += nodes_[i]->wire_masses() * (out->packet.a.dim() + 1);
-      // Transport faults, in physical order: a dead link transports nothing;
-      // a live link may drop or corrupt the packet.
-      if (dead_links_.count(norm_edge(i, out->to)) != 0 || !alive_[out->to]) {
-        ++stats_.messages_dropped;
-        continue;
-      }
-      if (plan.message_loss_prob > 0.0 && fault_rng_.chance(plan.message_loss_prob)) {
-        ++stats_.messages_dropped;
-        continue;
-      }
-      if (plan.bit_flip_prob > 0.0 && fault_rng_.chance(plan.bit_flip_prob)) {
-        flip_random_bit(out->packet, fault_rng_, plan.bit_flip_any_bit);
-        ++stats_.messages_flipped;
-      }
-      // Any reorder probability routes packets through the wire even in
-      // sequential mode — reordering needs the full round's packets in hand.
-      if (config_.delivery == Delivery::kSequential && plan.reorder_prob == 0.0) {
-        const bool dup =
-            plan.duplicate_prob > 0.0 && fault_rng_.chance(plan.duplicate_prob);
-        nodes_[out->to]->on_receive(i, out->packet);
-        ++perf_.deliveries;
-        if (dup) {
-          // The duplicate arrives back-to-back with the original.
-          ++stats_.messages_duplicated;
-          nodes_[out->to]->on_receive(i, out->packet);
-          ++perf_.deliveries;
-        }
-      } else {
-        if (plan.reorder_prob > 0.0) wire_reordered_ = true;
-        wire_.push_back({i, out->to, std::move(out->packet)});
-      }
-    }
+    dispatch_send_phase();
   }
   {
     // Wire drain (crossing mode, or sequential with reordering enabled):
     // delivery after all sends, optionally with the round's order permuted.
     const auto timer = perf_.time(PerfCounters::Phase::kDelivery);
-    deliver_wire();
+    dispatch_drain_phase();
   }
   if (retarget_after_wire_) {
     // Deferred crash retarget (crossing mode): the wire has drained and every
@@ -430,7 +452,98 @@ std::size_t SyncEngine::step() {
   return round_;
 }
 
-void SyncEngine::deliver_wire() {
+template <typename Ops>
+void SyncEngine::send_phase(Ops& ops) {
+  auto& plan = config_.faults;
+  // Any reorder probability routes packets through the wire even in
+  // sequential mode — reordering needs the full round's packets in hand.
+  const bool via_wire = config_.delivery == Delivery::kCrossing || plan.reorder_prob > 0.0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!alive_[i]) continue;
+    auto out = ops.make(i);
+    if (!out) continue;
+    ++stats_.messages_sent;
+    stats_.doubles_sent += ops.wire_masses(i) * (out->packet.a.dim() + 1);
+    // Transport faults, in physical order: a dead link transports nothing;
+    // a live link may drop or corrupt the packet.
+    if (dead_links_.count(norm_edge(i, out->to)) != 0 || !alive_[out->to]) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    if (plan.message_loss_prob > 0.0 && fault_rng_.chance(plan.message_loss_prob)) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    if (plan.bit_flip_prob > 0.0 && fault_rng_.chance(plan.bit_flip_prob)) {
+      flip_random_bit(out->packet, fault_rng_, plan.bit_flip_any_bit);
+      ++stats_.messages_flipped;
+    }
+    if (!via_wire) {
+      const bool dup =
+          plan.duplicate_prob > 0.0 && fault_rng_.chance(plan.duplicate_prob);
+      ops.deliver(out->to, i, out->to_slot, out->packet);
+      ++perf_.deliveries;
+      if (dup) {
+        // The duplicate arrives back-to-back with the original.
+        ++stats_.messages_duplicated;
+        ops.deliver(out->to, i, out->to_slot, out->packet);
+        ++perf_.deliveries;
+      }
+    } else {
+      if (plan.reorder_prob > 0.0) wire_reordered_ = true;
+      wire_.push_back({i, out->to, out->to_slot, std::move(out->packet)});
+    }
+  }
+}
+
+template <typename Ops>
+void SyncEngine::send_phase_sharded(Ops& ops) {
+  // Preconditions (dispatch_send_phase): all packets go to the wire and the
+  // send loop draws no fault_rng_ — only node_rngs_[i], which are per-node.
+  // Each shard owns a contiguous node block; concatenating the shard wires
+  // in block order reproduces the serial wire byte-for-byte.
+  auto& plan = config_.faults;
+  const std::size_t n = nodes_.size();
+  const std::size_t shards = std::min(shards_, n);
+  shard_wires_.resize(shards);
+  struct Local {
+    std::size_t sent = 0;
+    std::size_t dropped = 0;
+    std::size_t doubles = 0;
+  };
+  std::vector<Local> locals(shards);
+  parallel_for_index(shards, shards, [&](std::size_t s) {
+    const auto lo = static_cast<NodeId>(s * n / shards);
+    const auto hi = static_cast<NodeId>((s + 1) * n / shards);
+    auto& wire = shard_wires_[s];
+    wire.clear();
+    Local& local = locals[s];
+    for (NodeId i = lo; i < hi; ++i) {
+      if (!alive_[i]) continue;
+      auto out = ops.make(i);
+      if (!out) continue;
+      ++local.sent;
+      local.doubles += ops.wire_masses(i) * (out->packet.a.dim() + 1);
+      if (dead_links_.count(norm_edge(i, out->to)) != 0 || !alive_[out->to]) {
+        ++local.dropped;
+        continue;
+      }
+      wire.push_back({i, out->to, out->to_slot, std::move(out->packet)});
+    }
+  });
+  for (std::size_t s = 0; s < shards; ++s) {
+    stats_.messages_sent += locals[s].sent;
+    stats_.messages_dropped += locals[s].dropped;
+    stats_.doubles_sent += locals[s].doubles;
+    wire_.insert(wire_.end(), std::make_move_iterator(shard_wires_[s].begin()),
+                 std::make_move_iterator(shard_wires_[s].end()));
+  }
+  // Same flag the serial loop sets per pushed packet.
+  if (plan.reorder_prob > 0.0 && !wire_.empty()) wire_reordered_ = true;
+}
+
+template <typename Ops>
+void SyncEngine::drain_phase(Ops& ops) {
   auto& plan = config_.faults;
   // Reordering: each packet is independently selected with reorder_prob; the
   // selected ones are delayed behind every unselected packet, in an order
@@ -452,12 +565,136 @@ void SyncEngine::deliver_wire() {
     const auto& msg = wire_[idx];
     if (!alive_[msg.to]) continue;
     const bool dup = plan.duplicate_prob > 0.0 && fault_rng_.chance(plan.duplicate_prob);
-    nodes_[msg.to]->on_receive(msg.from, msg.packet);
+    ops.deliver(msg.to, msg.from, msg.to_slot, msg.packet);
     ++perf_.deliveries;
     if (dup) {
       ++stats_.messages_duplicated;
-      nodes_[msg.to]->on_receive(msg.from, msg.packet);
+      ops.deliver(msg.to, msg.from, msg.to_slot, msg.packet);
       ++perf_.deliveries;
+    }
+  }
+}
+
+template <typename Ops>
+void SyncEngine::drain_phase_sharded(Ops& ops) {
+  // Preconditions (dispatch_drain_phase): no duplicate/reorder draws, so
+  // delivery order only matters PER RECEIVER, and a receive mutates only the
+  // receiver's own arena rows. Stable counting sort by receiver, then shard
+  // over contiguous receiver ranges — each receiver sees its packets in the
+  // exact serial order, so the post-drain state is byte-identical.
+  const std::size_t n = nodes_.size();
+  const std::size_t m = wire_.size();
+  drain_offsets_.assign(n + 1, 0);
+  for (const InFlight& msg : wire_) ++drain_offsets_[msg.to + 1];
+  for (std::size_t r = 0; r < n; ++r) drain_offsets_[r + 1] += drain_offsets_[r];
+  drain_sorted_.resize(m);
+  {
+    std::vector<std::size_t> cursor(drain_offsets_.begin(), drain_offsets_.end() - 1);
+    for (std::size_t idx = 0; idx < m; ++idx) drain_sorted_[cursor[wire_[idx].to]++] = idx;
+  }
+  const std::size_t shards = std::min(shards_, n);
+  std::vector<std::size_t> local_deliveries(shards, 0);
+  parallel_for_index(shards, shards, [&](std::size_t s) {
+    const std::size_t lo = s * n / shards;
+    const std::size_t hi = (s + 1) * n / shards;
+    std::size_t delivered = 0;
+    for (std::size_t r = lo; r < hi; ++r) {
+      if (!alive_[r]) continue;
+      for (std::size_t p = drain_offsets_[r]; p < drain_offsets_[r + 1]; ++p) {
+        const InFlight& msg = wire_[drain_sorted_[p]];
+        ops.deliver(msg.to, msg.from, msg.to_slot, msg.packet);
+        ++delivered;
+      }
+    }
+    local_deliveries[s] = delivered;
+  });
+  for (const std::size_t d : local_deliveries) perf_.deliveries += d;
+}
+
+template <typename Ops>
+void SyncEngine::run_gossip(Ops& ops, bool send_sharded) {
+  if (send_sharded) {
+    send_phase_sharded(ops);
+  } else {
+    send_phase(ops);
+  }
+}
+
+template <typename Ops>
+void SyncEngine::run_drain(Ops& ops, bool drain_sharded) {
+  if (drain_sharded) {
+    drain_phase_sharded(ops);
+  } else {
+    drain_phase(ops);
+  }
+}
+
+void SyncEngine::dispatch_send_phase() {
+  const auto& plan = config_.faults;
+  const bool via_wire = config_.delivery == Delivery::kCrossing || plan.reorder_prob > 0.0;
+  // Sharding needs a send loop with no shared-RNG draws (loss/flip) and no
+  // cross-node state mutation (immediate delivery).
+  const bool sharded = fleet_ != nullptr && shards_ > 1 && nodes_.size() > 1 && via_wire &&
+                       plan.message_loss_prob == 0.0 && plan.bit_flip_prob == 0.0;
+  if (!fleet_) {
+    LegacyOps ops{*this};
+    run_gossip(ops, /*send_sharded=*/false);
+    return;
+  }
+  switch (config_.algorithm) {
+    case core::Algorithm::kPushSum: {
+      ArenaOps<core::Algorithm::kPushSum> ops{*this};
+      run_gossip(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kPushFlow: {
+      ArenaOps<core::Algorithm::kPushFlow> ops{*this};
+      run_gossip(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kPushCancelFlow: {
+      ArenaOps<core::Algorithm::kPushCancelFlow> ops{*this};
+      run_gossip(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kFlowUpdating: {
+      ArenaOps<core::Algorithm::kFlowUpdating> ops{*this};
+      run_gossip(ops, sharded);
+      return;
+    }
+  }
+}
+
+void SyncEngine::dispatch_drain_phase() {
+  const auto& plan = config_.faults;
+  // Sharding needs a drain with no per-delivery fault_rng_ draws.
+  const bool sharded = fleet_ != nullptr && shards_ > 1 && wire_.size() > 1 &&
+                       plan.duplicate_prob == 0.0 && plan.reorder_prob == 0.0;
+  if (!fleet_) {
+    LegacyOps ops{*this};
+    run_drain(ops, /*drain_sharded=*/false);
+    return;
+  }
+  switch (config_.algorithm) {
+    case core::Algorithm::kPushSum: {
+      ArenaOps<core::Algorithm::kPushSum> ops{*this};
+      run_drain(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kPushFlow: {
+      ArenaOps<core::Algorithm::kPushFlow> ops{*this};
+      run_drain(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kPushCancelFlow: {
+      ArenaOps<core::Algorithm::kPushCancelFlow> ops{*this};
+      run_drain(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kFlowUpdating: {
+      ArenaOps<core::Algorithm::kFlowUpdating> ops{*this};
+      run_drain(ops, sharded);
+      return;
     }
   }
 }

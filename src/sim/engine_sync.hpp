@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/reducer.hpp"
 #include "core/stopping.hpp"
 #include "net/topology.hpp"
@@ -40,12 +41,34 @@ enum class Delivery {
   kCrossing,
 };
 
+/// Engine state implementation.
+enum class EngineMode {
+  /// One heap-allocated Reducer object per node (the reference path).
+  kLegacy,
+  /// Structure-of-arrays flow arenas over a CSR adjacency with a
+  /// devirtualized round loop (core::ArenaFleet). Bitwise-identical to
+  /// kLegacy for every algorithm, delivery model and fault plan — held to
+  /// that by tests/sim/test_arena_equivalence.cpp — but scales to 10^6
+  /// nodes. The per-node Reducer interface (node(i)) stays available
+  /// through thin facades, so oracles / invariants / fault hooks are
+  /// unchanged.
+  kArena,
+};
+
 struct SyncEngineConfig {
   core::Algorithm algorithm = core::Algorithm::kPushCancelFlow;
   core::ReducerConfig reducer;
   FaultPlan faults;
   std::uint64_t seed = 1;
   Delivery delivery = Delivery::kSequential;
+  EngineMode mode = EngineMode::kLegacy;
+  /// Arena mode only: shard the round loop over up to this many worker
+  /// threads (0 = hardware concurrency, 1 = serial). Sharding engages only
+  /// for the phases the fault model keeps node-disjoint (wire-routed sends
+  /// with no per-packet loss/flip draws; drains with no duplicate/reorder
+  /// draws) — everything else runs serially, so the engine output is
+  /// byte-identical for every shard count.
+  std::size_t shards = 1;
   InvariantConfig invariants;  ///< runtime invariant checking (see invariants.hpp)
 };
 
@@ -118,6 +141,10 @@ class SyncEngine {
   [[nodiscard]] core::Reducer& node(NodeId i) { return *nodes_.at(i); }
   [[nodiscard]] const core::Reducer& node(NodeId i) const { return *nodes_.at(i); }
   [[nodiscard]] bool node_alive(NodeId i) const { return alive_.at(i); }
+  /// The SoA state arena, or nullptr in legacy mode.
+  [[nodiscard]] const core::ArenaFleet* fleet() const noexcept { return fleet_.get(); }
+  /// Resolved shard count (config_.shards with 0 expanded to hardware).
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
 
   /// Estimates of component k on all live nodes (dead nodes are skipped).
   [[nodiscard]] std::vector<double> estimates(std::size_t k = 0) const;
@@ -145,6 +172,9 @@ class SyncEngine {
 
  private:
   struct View;
+  struct LegacyOps;
+  template <core::Algorithm A>
+  struct ArenaOps;
   void check_invariants(bool force);
   void process_due_faults();
   void fail_link(NodeId a, NodeId b, double physical_time, bool independent);
@@ -154,11 +184,31 @@ class SyncEngine {
   void revive_link(NodeId a, NodeId b, double physical_time);
   void rejoin_node(NodeId node, double physical_time);
   void deliver_notifications_due();
-  void deliver_wire();
+
+  // Round phases, templated on the state backend (LegacyOps virtual-calls
+  // into nodes_; ArenaOps<A> inlines the fleet's flat-array ops). The
+  // *_sharded variants split the node range into `shards_` contiguous
+  // blocks and merge in block order — byte-identical to the serial phase.
+  template <typename Ops>
+  void send_phase(Ops& ops);
+  template <typename Ops>
+  void send_phase_sharded(Ops& ops);
+  template <typename Ops>
+  void drain_phase(Ops& ops);
+  template <typename Ops>
+  void drain_phase_sharded(Ops& ops);
+  template <typename Ops>
+  void run_gossip(Ops& ops, bool send_sharded);
+  template <typename Ops>
+  void run_drain(Ops& ops, bool drain_sharded);
+  void dispatch_send_phase();
+  void dispatch_drain_phase();
 
   net::Topology topology_;
   SyncEngineConfig config_;
   std::vector<std::unique_ptr<core::Reducer>> nodes_;
+  std::unique_ptr<core::ArenaFleet> fleet_;  // kArena mode only
+  std::size_t shards_ = 1;
   std::vector<Rng> node_rngs_;
   Rng fault_rng_;
   Oracle oracle_;
@@ -211,9 +261,15 @@ class SyncEngine {
   struct InFlight {
     NodeId from;
     NodeId to;
+    /// Receiver-side slot of the sender (arena mode; 0 in legacy mode, where
+    /// on_receive re-resolves the slot itself).
+    std::uint32_t to_slot = 0;
     core::Packet packet;
   };
   std::vector<InFlight> wire_;  // reused per round
+  std::vector<std::vector<InFlight>> shard_wires_;  // per-shard send buffers, reused
+  std::vector<std::size_t> drain_offsets_;  // per-receiver wire ranges, reused
+  std::vector<std::size_t> drain_sorted_;   // wire indices sorted by receiver, reused
 };
 
 }  // namespace pcf::sim

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <optional>
 #include <sstream>
 
+#include "core/arena.hpp"
 #include "core/push_cancel_flow.hpp"
 #include "support/check.hpp"
 
@@ -24,6 +26,20 @@ std::string format_edge(NodeId a, NodeId b) {
   std::ostringstream os;
   os << a << "-" << b;
   return os.str();
+}
+
+/// PCF per-edge handshake state of `node` toward `peer`, whichever backend
+/// implements the node (legacy PushCancelFlow object or arena facade).
+/// nullopt when the node is neither (e.g. a test fake).
+std::optional<core::PushCancelFlow::EdgeView> pcf_edge_view(const core::Reducer& node,
+                                                            NodeId peer) {
+  if (const auto* legacy = dynamic_cast<const core::PushCancelFlow*>(&node)) {
+    return legacy->edge_state(peer);
+  }
+  if (const auto* arena = dynamic_cast<const core::ArenaReducer*>(&node)) {
+    return arena->edge_state(peer);
+  }
+  return std::nullopt;
 }
 
 // ---------------------------------------------------------------------------
@@ -117,12 +133,10 @@ class FlowAntisymmetryChecker final : public InvariantChecker {
       }
       if (na == 0) continue;
       if (algorithm == core::Algorithm::kPushCancelFlow) {
-        const auto* pa = dynamic_cast<const core::PushCancelFlow*>(&view.node(a));
-        const auto* pb = dynamic_cast<const core::PushCancelFlow*>(&view.node(b));
-        if (pa == nullptr || pb == nullptr) continue;
-        const auto ea = pa->edge_state(b);
-        const auto eb = pb->edge_state(a);
-        if (ea.role_count != eb.role_count || ea.role_count % 2 != 0) continue;
+        const auto ea = pcf_edge_view(view.node(a), b);
+        const auto eb = pcf_edge_view(view.node(b), a);
+        if (!ea || !eb) continue;
+        if (ea->role_count != eb->role_count || ea->role_count % 2 != 0) continue;
       }
       for (std::size_t s = 0; s < na; ++s) {
         if (!fb[s].is_negation_of(fa[s])) {
@@ -163,19 +177,24 @@ class PcfHandshakeChecker final : public InvariantChecker {
     }
     // Recovery events (heal / rejoin / false-positive clear) legitimately
     // reset an edge's cycle counters to zero via on_link_up. The engine does
-    // not say WHICH edge, so resynchronize the whole history once and skip
-    // the monotonicity comparison for this check only.
+    // not say WHICH edge, so resynchronize the whole history and skip the
+    // monotonicity comparison — and keep doing so while up-notices are still
+    // in flight (under detection_delay > 0 the reset lands when the notice
+    // DELIVERS, rounds after the recovery counter ticked) plus one check
+    // past the drain (the last notice resets state in its delivery round).
     const FaultExposure f = view.faults();
-    const bool resync = f.recovery_count() != last_recoveries_;
+    const bool resync = f.recovery_count() != last_recoveries_ || f.pending_up_notices > 0 ||
+                        last_pending_up_ > 0;
     last_recoveries_ = f.recovery_count();
+    last_pending_up_ = f.pending_up_notices;
     for (std::size_t idx = 0; idx < edges_.size(); ++idx) {
       const auto [a, b] = edges_[idx];
       if (!view.alive(a) || !view.alive(b) || view.link_dead(a, b)) continue;
-      const auto* pa = dynamic_cast<const core::PushCancelFlow*>(&view.node(a));
-      const auto* pb = dynamic_cast<const core::PushCancelFlow*>(&view.node(b));
-      if (pa == nullptr || pb == nullptr) return;
-      const auto ea = pa->edge_state(b);  // a is the initiator (a < b)
-      const auto eb = pb->edge_state(a);
+      const auto ea_opt = pcf_edge_view(view.node(a), b);  // a is the initiator (a < b)
+      const auto eb_opt = pcf_edge_view(view.node(b), a);
+      if (!ea_opt || !eb_opt) return;
+      const auto& ea = *ea_opt;
+      const auto& eb = *eb_opt;
       if ((ea.active_slot != 1 && ea.active_slot != 2) ||
           (eb.active_slot != 1 && eb.active_slot != 2)) {
         out.push_back({std::string(name()), view.time(),
@@ -184,11 +203,17 @@ class PcfHandshakeChecker final : public InvariantChecker {
       }
       const std::uint64_t ci = ea.role_count;
       const std::uint64_t cc = eb.role_count;
-      if (!resync && (ci < prev_[idx].first || cc < prev_[idx].second)) {
+      const bool backwards = ci < prev_[idx].first || cc < prev_[idx].second;
+      prev_[idx] = {ci, cc};
+      // During a recovery window the cross-endpoint state is legitimately
+      // inconsistent: a rejoin revives transport immediately, but the
+      // surviving endpoint keeps its pre-crash edge state until its delayed
+      // on_link_up notice lands. Record history, assert nothing.
+      if (resync) continue;
+      if (backwards) {
         out.push_back({std::string(name()), view.time(),
                        "edge " + format_edge(a, b) + ": cycle counter went backwards"});
       }
-      prev_[idx] = {ci, cc};
       if (!(cc <= ci && ci <= cc + 1)) {
         std::ostringstream os;
         os << "edge " << format_edge(a, b) << ": cycle skew (initiator " << ci << ", completer "
@@ -220,6 +245,7 @@ class PcfHandshakeChecker final : public InvariantChecker {
   std::vector<std::pair<NodeId, NodeId>> edges_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> prev_;
   std::size_t last_recoveries_ = 0;
+  std::size_t last_pending_up_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -71,6 +71,11 @@ struct FaultExposure {
   /// Adversarial-delivery duplicates injected. Flow mirrors are idempotent;
   /// push-sum shares are NOT — its conservation checks are suspended.
   std::size_t messages_duplicated = 0;
+  /// on_link_up notices scheduled but not yet delivered (detection_delay).
+  /// The per-edge protocol reset lands when the notice is DELIVERED, which
+  /// can be rounds after the heal/rejoin counter ticked — history-based
+  /// checkers hold their resync window open until these drain.
+  std::size_t pending_up_notices = 0;
 
   /// No drop/corruption event has fired — exact-conservation checks apply.
   /// (Duplicates are excluded deliberately: flow-mirror delivery is

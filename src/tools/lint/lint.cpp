@@ -176,6 +176,7 @@ std::string_view to_string(Rule rule) noexcept {
     case Rule::kD1: return "D1";
     case Rule::kD2: return "D2";
     case Rule::kD3: return "D3";
+    case Rule::kD4: return "D4";
     case Rule::kR1: return "R1";
     case Rule::kF1: return "F1";
     case Rule::kLnt: return "LNT";
@@ -191,6 +192,8 @@ std::string_view describe(Rule rule) noexcept {
       return "no std::unordered_{map,set,...} in deterministic paths (order leaks into traces)";
     case Rule::kD3:
       return "std random engines/distributions and <random> only inside src/support/rng";
+    case Rule::kD4:
+      return "no std::thread/jthread/async in deterministic paths — use support/parallel.hpp";
     case Rule::kR1:
       return "Reducer subclasses must declare on_link_down, on_link_up, update_data";
     case Rule::kF1:
@@ -208,7 +211,7 @@ Rule parse_rule(std::string_view name) {
     if (upper == to_string(rule)) return rule;
   }
   throw ContractViolation("pcflow-lint: unknown rule '" + std::string(name) +
-                          "' (known: D1 D2 D3 R1 F1 LNT)");
+                          "' (known: D1 D2 D3 D4 R1 F1 LNT)");
 }
 
 std::vector<Diagnostic> lint_source(std::string_view virtual_path, std::string_view source,

@@ -22,6 +22,12 @@
 //       #include <random> only inside src/support/rng.* — everything else
 //       draws through the seeded pcf::Rng API so the documented stream
 //       layout stays intact.
+//   D4  sharding discipline: no raw threading primitives (std::thread,
+//       std::jthread, std::async, #include <thread>/<future>) in
+//       deterministic paths. Parallelism there must go through
+//       support/parallel.hpp (resolve_thread_count + parallel_for_index),
+//       whose fixed work partition is what keeps sharded output
+//       byte-identical to serial. src/runtime owns its threads by design.
 //   R1  reducer-protocol conformance: every class deriving from Reducer must
 //       declare the full fault-hook set (on_link_down, on_link_up,
 //       update_data) so a new algorithm cannot silently inherit a no-op.
@@ -46,9 +52,9 @@
 
 namespace pcf::lint {
 
-enum class Rule { kD1, kD2, kD3, kR1, kF1, kLnt };
+enum class Rule { kD1, kD2, kD3, kD4, kR1, kF1, kLnt };
 
-inline constexpr Rule kAllRules[] = {Rule::kD1, Rule::kD2, Rule::kD3,
+inline constexpr Rule kAllRules[] = {Rule::kD1, Rule::kD2, Rule::kD3, Rule::kD4,
                                      Rule::kR1, Rule::kF1, Rule::kLnt};
 
 [[nodiscard]] std::string_view to_string(Rule rule) noexcept;

@@ -206,6 +206,48 @@ void rule_d3(std::string_view path, const std::vector<Token>& code,
   }
 }
 
+// ---------------------------------------------------------------- D4 -------
+
+/// Raw threading primitives banned from deterministic paths when
+/// std::-qualified. Parallelism there must go through support/parallel.hpp:
+/// its fixed contiguous work partition (resolve_thread_count +
+/// parallel_for_index) is what keeps sharded engine output byte-identical to
+/// serial. `async` and `thread` are common enough words that only the
+/// qualified spelling is flagged; the include check below catches the rest.
+constexpr std::array<std::string_view, 3> kD4Primitives = {"thread", "jthread", "async"};
+
+/// Headers whose presence in a deterministic path means hand-rolled
+/// concurrency, whatever it is spelled like.
+constexpr std::array<std::string_view, 2> kD4Headers = {"thread", "future"};
+
+void rule_d4(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  if (!is_d1_path(path)) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& tok = code[i];
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (std::find(kD4Primitives.begin(), kD4Primitives.end(), tok.text) != kD4Primitives.end() &&
+        is_std_qualified(code, i)) {
+      std::ostringstream os;
+      os << "`std::" << tok.text
+         << "` in deterministic path: raw threads make shard output order scheduler-dependent — "
+            "use support/parallel.hpp (parallel_for_index over a fixed partition)";
+      emit(out, path, tok, Rule::kD4, os.str());
+      continue;
+    }
+    // #include <thread> / <future> — tokens are `#` `include` `<` name `>`
+    if (std::find(kD4Headers.begin(), kD4Headers.end(), tok.text) != kD4Headers.end() &&
+        i >= 3 && i + 1 < code.size() && is_punct(code[i - 3], "#") &&
+        is_ident(code[i - 2], "include") && is_punct(code[i - 1], "<") &&
+        is_punct(code[i + 1], ">")) {
+      std::ostringstream os;
+      os << "#include <" << tok.text
+         << "> in deterministic path: concurrency there goes through support/parallel.hpp";
+      emit(out, path, tok, Rule::kD4, os.str());
+    }
+  }
+}
+
 // ---------------------------------------------------------------- R1 -------
 
 /// The fault-hook set every Reducer subclass must declare explicitly. The
@@ -366,6 +408,7 @@ void run_rules(std::string_view path, const std::vector<Token>& code, const Opti
   if (options.rule_enabled(Rule::kD1)) rule_d1(path, code, out);
   if (options.rule_enabled(Rule::kD2)) rule_d2(path, code, out);
   if (options.rule_enabled(Rule::kD3)) rule_d3(path, code, out);
+  if (options.rule_enabled(Rule::kD4)) rule_d4(path, code, out);
   if (options.rule_enabled(Rule::kR1)) rule_r1(path, code, out);
   if (options.rule_enabled(Rule::kF1)) rule_f1(path, code, out);
 }

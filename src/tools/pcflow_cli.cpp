@@ -43,7 +43,10 @@ namespace {
 
 int run_bench_cli(int argc, const char* const* argv) {
   CliFlags flags;
-  flags.define("suite", std::string("fast"), "scenario suite: fast | standard");
+  flags.define("suite", std::string("fast"),
+               "scenario suite: fast | standard | scale | scale-fast");
+  flags.define("profile", std::string(),
+               "alias for --suite (pcflow bench --profile=scale)");
   flags.define("fast", false, "shorthand for --suite=fast");
   flags.define("seed", std::int64_t{1}, "suite RNG seed");
   flags.define("threads", std::int64_t{1},
@@ -56,6 +59,7 @@ int run_bench_cli(int argc, const char* const* argv) {
 
   bench::BenchOptions options;
   options.suite = flags.get_bool("fast") ? "fast" : flags.get_string("suite");
+  if (!flags.get_string("profile").empty()) options.suite = flags.get_string("profile");
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.threads = static_cast<std::size_t>(flags.get_int("threads"));
   options.include_timing = flags.get_bool("timing");
@@ -148,6 +152,12 @@ int run_cli(int argc, const char* const* argv) {
   flags.define("false-detect", std::string{},
                "failure-detector false positives, T:A:B:D[,...] (clears after D rounds)");
   flags.define("seed", std::int64_t{1}, "RNG seed");
+  flags.define("engine", std::string("legacy"),
+               "state layout: legacy (one Reducer per node) | arena (SoA flow arenas, "
+               "bitwise-identical output, scales to 10^6 nodes)");
+  flags.define("shards", std::int64_t{1},
+               "arena engine only: shard the round loop over N threads "
+               "(0 = hardware concurrency; output is identical for every value)");
   flags.define("trace-every", std::int64_t{0}, "print an error trace row every N rounds");
   flags.define("csv", std::string{}, "write the trace as CSV to this path");
   flags.define("estimates", false, "print every node's final estimate");
@@ -163,6 +173,12 @@ int run_cli(int argc, const char* const* argv) {
   config.reducer.pcf_variant =
       variant == "fast" ? core::PcfVariant::kFast : core::PcfVariant::kRobust;
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const std::string& engine_name = flags.get_string("engine");
+  PCF_CHECK_MSG(engine_name == "legacy" || engine_name == "arena", "--engine wants legacy|arena");
+  config.mode = engine_name == "arena" ? sim::EngineMode::kArena : sim::EngineMode::kLegacy;
+  config.shards = static_cast<std::size_t>(flags.get_int("shards"));
+  PCF_CHECK_MSG(config.mode == sim::EngineMode::kArena || config.shards == 1,
+                "--shards needs --engine=arena");
   sim::FaultSpecInput fault_spec;
   fault_spec.link_failures = flags.get_string("link-fail");
   fault_spec.node_crashes = flags.get_string("crash");

@@ -62,6 +62,45 @@ TEST(RunBench, ParallelRunnerIsBitwiseIdenticalToSerial) {
   EXPECT_EQ(a, b);
 }
 
+TEST(MakeSuite, ScaleSuitesUseTheArenaEngine) {
+  for (const char* name : {"scale", "scale-fast"}) {
+    const auto suite = make_suite(name);
+    EXPECT_GE(suite.size(), 5u) << name;
+    std::size_t arena_cells = 0, sharded_cells = 0;
+    for (const auto& s : suite) {
+      EXPECT_GT(s.fixed_rounds, 0u) << name << "/" << s.name;
+      if (s.engine == "arena") ++arena_cells;
+      if (s.shards != 1) ++sharded_cells;
+    }
+    EXPECT_GT(arena_cells, 0u) << name;
+    EXPECT_GT(sharded_cells, 0u) << name;
+  }
+  // The baseline suite reaches 10^6 nodes (torus2d:1000x1000).
+  const auto scale = make_suite("scale");
+  const bool has_million = std::any_of(scale.begin(), scale.end(), [](const Scenario& s) {
+    return s.topology == "torus2d:1000x1000";
+  });
+  EXPECT_TRUE(has_million);
+}
+
+TEST(RunBench, ScaleFastIsBitwiseIdenticalAcrossRunnerThreads) {
+  // The scale cut must satisfy the same determinism contract as "fast":
+  // byte-identical JSON regardless of runner worker count — which also pins
+  // that the sharded arena cells (shards > 1) produce thread-independent
+  // counters and errors.
+  BenchOptions serial;
+  serial.suite = "scale-fast";
+  serial.seed = 11;
+  serial.threads = 1;
+  serial.include_timing = false;
+  BenchOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = report_to_json(run_bench(serial));
+  const auto b = report_to_json(run_bench(parallel));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"engine\": \"arena\""), std::string::npos);
+}
+
 TEST(RunBench, FaultFreeFastScenariosConverge) {
   BenchOptions options;
   options.suite = "fast";
@@ -88,7 +127,13 @@ TEST(ReportToJson, EmitsVersionedSchemaWithoutExecutionParameters) {
   options.include_timing = false;
   const auto json = report_to_json(run_bench(options));
   EXPECT_NE(json.find("\"schema\": \"pcflow-bench\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  // v2 additions: the engine/shard/delivery cell parameters are part of the
+  // scenario identity (CI gates diff on them).
+  EXPECT_NE(json.find("\"engine\": \"legacy\""), std::string::npos);
+  EXPECT_NE(json.find("\"delivery\": \"sequential\""), std::string::npos);
+  EXPECT_NE(json.find("\"shards\": "), std::string::npos);
+  EXPECT_NE(json.find("\"fixed_rounds\": "), std::string::npos);
   EXPECT_NE(json.find("\"suite\": \"fast\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"scenarios\": ["), std::string::npos);

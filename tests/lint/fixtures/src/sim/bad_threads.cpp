@@ -1,0 +1,13 @@
+// D4 fixture: raw threading primitives in a deterministic path. The includes
+// and each std::-qualified primitive must fire separately; the sanctioned
+// route is support/parallel.hpp (resolve_thread_count + parallel_for_index).
+#include <thread>  // line 4: D4 (include)
+#include <future>  // line 5: D4 (include)
+
+void fixture() {
+  std::thread worker([] {});                    // line 8: D4 (std::thread)
+  std::jthread helper([] {});                   // line 9: D4 (std::jthread)
+  auto f = std::async([] { return 1; });        // line 10: D4 (std::async)
+  worker.join();
+  (void)f;
+}

@@ -38,7 +38,7 @@ constexpr const char* kFixtureDir = PCF_LINT_FIXTURE_DIR;
 
 TEST(LintFixtures, WholeTreeMatchesAnnotations) {
   const RunResult result = run_directory(kFixtureDir);
-  EXPECT_EQ(result.files_scanned, 7u);
+  EXPECT_EQ(result.files_scanned, 8u);
   const std::vector<std::string> expected = {
       "src/core/bad_clock.cpp:15:D1",      // std::time
       "src/core/bad_clock.cpp:16:D1",      // bare time( call
@@ -63,6 +63,11 @@ TEST(LintFixtures, WholeTreeMatchesAnnotations) {
       "src/sim/bad_rng.cpp:3:D3",          // #include <random>
       "src/sim/bad_rng.cpp:6:D3",          // std::mt19937
       "src/sim/bad_rng.cpp:7:D3",          // std::uniform_real_distribution
+      "src/sim/bad_threads.cpp:4:D4",      // #include <thread>
+      "src/sim/bad_threads.cpp:5:D4",      // #include <future>
+      "src/sim/bad_threads.cpp:8:D4",      // std::thread
+      "src/sim/bad_threads.cpp:9:D4",      // std::jthread
+      "src/sim/bad_threads.cpp:10:D4",     // std::async
   };
   EXPECT_EQ(keys(result.diagnostics), expected);
 }
@@ -77,7 +82,7 @@ TEST(LintFixtures, ReportIsByteDeterministic) {
   const std::string a = format_report(run_directory(kFixtureDir));
   const std::string b = format_report(run_directory(kFixtureDir));
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("pcflow-lint: 7 file(s) scanned, 23 diagnostic(s)"), std::string::npos) << a;
+  EXPECT_NE(a.find("pcflow-lint: 8 file(s) scanned, 28 diagnostic(s)"), std::string::npos) << a;
 }
 
 // ------------------------------------------------------------- scoping -----
@@ -107,6 +112,29 @@ TEST(LintScoping, D3AllowsOnlyTheRngModule) {
   EXPECT_TRUE(lint_keys("src/support/rng.hpp", src).empty());
   EXPECT_EQ(lint_keys("src/support/stats.cpp", src).size(), 1u);
   EXPECT_EQ(lint_keys("src/tools/a.cpp", src).size(), 1u);  // D3 is tree-wide
+}
+
+TEST(LintScoping, D4BansRawThreadsOnlyInDeterministicPaths) {
+  const std::string_view src = "void f() { std::thread t([] {}); t.join(); }\n";
+  EXPECT_EQ(lint_keys("src/core/a.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/sim/a.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/net/a.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/bench/a.cpp", src).size(), 1u);
+  // The threaded runtime and the support layer own their threads by design —
+  // support/parallel.hpp is exactly where the workers live.
+  EXPECT_TRUE(lint_keys("src/runtime/a.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/support/parallel.hpp", src).empty());
+}
+
+TEST(LintRulesD4, UnqualifiedNamesAndMembersStayClean) {
+  // `thread`/`async` are ordinary words; only the std::-qualified primitive
+  // (or the header include) is hand-rolled concurrency.
+  EXPECT_TRUE(lint_keys("src/sim/a.cpp",
+                        "std::size_t resolve(std::size_t thread) { return thread; }\n"
+                        "void g(Pool& p) { p.async(); }\n")
+                  .empty());
+  EXPECT_EQ(lint_keys("src/sim/a.cpp", "#include <thread>\n").size(), 1u);
+  EXPECT_EQ(lint_keys("src/sim/a.cpp", "auto r = std::async(f);\n").size(), 1u);
 }
 
 TEST(LintScoping, F1EqualityExemptsOracleFiles) {

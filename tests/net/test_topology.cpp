@@ -120,6 +120,21 @@ TEST(Topology, RandomRegularHasExactDegree) {
   EXPECT_TRUE(t.is_connected());
 }
 
+TEST(Topology, RandomRegularScalesViaEdgeSwapRepair) {
+  // At this size a shuffled stub pairing contains a collision with
+  // near-certainty, so the generator must take the edge-swap repair path
+  // (wholesale rejection would exhaust every attempt). The result still has
+  // to be a simple connected graph with the exact degree everywhere.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(seed);
+    const auto t = Topology::random_regular(5000, 6, rng);
+    expect_valid_graph(t);
+    for (NodeId i = 0; i < t.size(); ++i) ASSERT_EQ(t.degree(i), 6u) << "seed " << seed;
+    EXPECT_TRUE(t.is_connected()) << "seed " << seed;
+    EXPECT_EQ(t.edge_count(), 5000u * 6u / 2u);
+  }
+}
+
 TEST(Topology, RandomRegularRejectsOddProduct) {
   Rng rng(5);
   EXPECT_THROW(Topology::random_regular(5, 3, rng), ContractViolation);
