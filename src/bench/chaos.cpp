@@ -109,6 +109,101 @@ TrialOutcome run_chaos_trial(const ChaosCell& cell, std::uint64_t seed) {
   return outcome;
 }
 
+struct RestoreTrialOutcome {
+  bool fingerprint_match = false;
+  bool restore_converged = false;
+  bool intrinsic_converged = false;
+  double restore_rounds = 0.0;
+  double intrinsic_rounds = 0.0;
+  double restore_error = 0.0;
+  double intrinsic_error = 0.0;
+  std::size_t nodes = 0;
+  std::uint64_t bytes_full = 0;
+  std::uint64_t bytes_light = 0;
+};
+
+sim::FaultPlan make_restore_faults(const ChaosRestoreCell& cell, const net::Topology& topology) {
+  // Scheduled events only, all done before the kill: the probabilistic knobs
+  // stay zero, so the pre-kill trajectory is fixed by the schedule and the
+  // checkpoint cursors land mid-schedule (the interesting case for restore).
+  sim::FaultPlan plan;
+  const double span = static_cast<double>(cell.kill_round);
+  const auto victim = static_cast<net::NodeId>(topology.size() / 2);
+  plan.node_crashes.push_back({0.20 * span, victim});
+  plan.node_rejoins.push_back({0.40 * span, victim});
+  std::size_t picked = 0;
+  for (const auto& [a, b] : topology.edges()) {
+    if (a == victim || b == victim) continue;
+    if (picked == 0) {
+      plan.link_failures.push_back({0.15 * span, a, b});
+      plan.link_heals.push_back({0.35 * span, a, b});
+    } else if (picked == 1) {
+      plan.false_detects.push_back({0.25 * span, a, b, 5.0});
+    }
+    if (++picked == 2) break;
+  }
+  return plan;
+}
+
+RestoreTrialOutcome run_restore_trial(const ChaosRestoreCell& cell, std::uint64_t seed) {
+  Rng topo_rng(seed ^ 0x7070ULL);
+  const auto topology = net::Topology::parse(cell.topology, topo_rng);
+  Rng data_rng(seed ^ 0xda7aULL);
+  std::vector<double> values(topology.size());
+  for (auto& v : values) v = data_rng.uniform();
+  const auto masses = sim::masses_from_values(values, core::Aggregate::kAverage);
+
+  sim::SyncEngineConfig config;
+  config.algorithm = core::parse_algorithm(cell.algorithm);
+  config.seed = seed;
+  config.mode = cell.engine == "arena" ? sim::EngineMode::kArena : sim::EngineMode::kLegacy;
+  config.faults = make_restore_faults(cell, topology);
+
+  RestoreTrialOutcome out;
+  out.nodes = topology.size();
+
+  // The doomed primary: checkpoints every `checkpoint_every` rounds, dies at
+  // `kill_round` (everything not in the last blob is lost with the process).
+  sim::SyncEngine primary(topology, masses, config);
+  std::string last_checkpoint = primary.save_checkpoint(sim::CheckpointMode::kFull);
+  std::size_t checkpoint_round = 0;
+  out.bytes_full = last_checkpoint.size();
+  out.bytes_light = primary.save_checkpoint(sim::CheckpointMode::kLightweight).size();
+  for (std::size_t r = 0; r < cell.kill_round; ++r) {
+    primary.step();
+    if (primary.round() % cell.checkpoint_every == 0) {
+      last_checkpoint = primary.save_checkpoint(sim::CheckpointMode::kFull);
+      checkpoint_round = primary.round();
+      out.bytes_full = last_checkpoint.size();
+      out.bytes_light = primary.save_checkpoint(sim::CheckpointMode::kLightweight).size();
+    }
+  }
+  const std::uint64_t kill_fingerprint = primary.state_fingerprint();
+
+  // Contender 1 (restore): fresh engine + last checkpoint, replay to the kill
+  // point — the replay must reproduce the pre-kill state bitwise, which is
+  // the whole-layer correctness probe — then race to the accuracy target.
+  sim::SyncEngine restored(topology, masses, config);
+  restored.restore(last_checkpoint);
+  restored.run(cell.kill_round - checkpoint_round);
+  out.fingerprint_match = restored.state_fingerprint() == kill_fingerprint;
+  out.restore_converged = restored.run_until_error(cell.tol, cell.max_rounds).reached_target;
+  out.restore_rounds = static_cast<double>(restored.round() - checkpoint_round);
+  out.restore_error = restored.max_error();
+
+  // Contender 2 (intrinsic): the paper's zero-checkpoint story. No blob
+  // survived the kill, so restart cold from the construction inputs (the
+  // fault schedule died with the process) and let the algorithm reconverge
+  // from scratch.
+  sim::SyncEngineConfig cold = config;
+  cold.faults = sim::FaultPlan{};
+  sim::SyncEngine intrinsic(topology, masses, cold);
+  out.intrinsic_converged = intrinsic.run_until_error(cell.tol, cell.max_rounds).reached_target;
+  out.intrinsic_rounds = static_cast<double>(intrinsic.round());
+  out.intrinsic_error = intrinsic.max_error();
+  return out;
+}
+
 QuantileSummary summarize(std::vector<double> samples) {
   QuantileSummary q;
   if (samples.empty()) return q;
@@ -176,6 +271,41 @@ std::vector<ChaosCell> make_chaos_cells(bool fast) {
   return cells;
 }
 
+std::vector<ChaosRestoreCell> make_chaos_restore_cells(bool fast) {
+  std::vector<ChaosRestoreCell> cells;
+  const auto add = [&cells](const char* algorithm, const char* topology, const char* engine,
+                            std::size_t trials, std::size_t kill_round,
+                            std::size_t checkpoint_every, std::size_t max_rounds) {
+    ChaosRestoreCell c;
+    c.algorithm = algorithm;
+    c.topology = topology;
+    c.engine = engine;
+    c.trials = trials;
+    c.kill_round = kill_round;
+    c.checkpoint_every = checkpoint_every;
+    c.max_rounds = max_rounds;
+    c.name = std::string("restore/") + algorithm + "/" + topology + "/" + engine;
+    cells.push_back(std::move(c));
+  };
+
+  // kill_round is deliberately NOT a multiple of checkpoint_every: the
+  // restore contender always pays a real replay segment.
+  if (fast) {
+    add("pcf", "ring:16", "legacy", 2, 70, 20, 3000);
+    add("pcf", "ring:16", "arena", 2, 70, 20, 3000);
+    add("pf", "hypercube:4", "legacy", 2, 70, 20, 3000);
+    return cells;
+  }
+  for (const char* algorithm : {"ps", "pf", "pcf", "fu"}) {
+    for (const char* topo : {"ring:32", "hypercube:5"}) {
+      for (const char* engine : {"legacy", "arena"}) {
+        add(algorithm, topo, engine, 3, 130, 40, 6000);
+      }
+    }
+  }
+  return cells;
+}
+
 ChaosReport run_chaos(const ChaosOptions& options) {
   ChaosReport report;
   report.options = options;
@@ -206,6 +336,36 @@ ChaosReport run_chaos(const ChaosOptions& options) {
     result.final_error = summarize(std::move(error));
     report.cells.push_back(std::move(result));
   }
+
+  const std::vector<ChaosRestoreCell> restore_cells = make_chaos_restore_cells(options.fast);
+  report.restore_cells.reserve(restore_cells.size());
+  for (std::size_t c = 0; c < restore_cells.size(); ++c) {
+    const ChaosRestoreCell& cell = restore_cells[c];
+    ChaosRestoreResult result;
+    result.cell = cell;
+    std::vector<double> restore_rounds, restore_error, intrinsic_rounds, intrinsic_error;
+    for (std::size_t t = 0; t < cell.trials; ++t) {
+      // A different cell-mixing constant than the churn sweep, so the two
+      // families stay independent per suite seed.
+      const std::uint64_t seed = trial_seed(options.seed + 0x20002ULL * (c + 1), t);
+      const RestoreTrialOutcome outcome = run_restore_trial(cell, seed);
+      result.nodes = outcome.nodes;
+      if (outcome.fingerprint_match) ++result.fingerprint_matches;
+      if (outcome.restore_converged) ++result.restore_converged;
+      if (outcome.intrinsic_converged) ++result.intrinsic_converged;
+      result.checkpoint_bytes_full = std::max(result.checkpoint_bytes_full, outcome.bytes_full);
+      result.checkpoint_bytes_light = std::max(result.checkpoint_bytes_light, outcome.bytes_light);
+      restore_rounds.push_back(outcome.restore_rounds);
+      restore_error.push_back(outcome.restore_error);
+      intrinsic_rounds.push_back(outcome.intrinsic_rounds);
+      intrinsic_error.push_back(outcome.intrinsic_error);
+    }
+    result.restore_rounds = summarize(std::move(restore_rounds));
+    result.restore_error = summarize(std::move(restore_error));
+    result.intrinsic_rounds = summarize(std::move(intrinsic_rounds));
+    result.intrinsic_error = summarize(std::move(intrinsic_error));
+    report.restore_cells.push_back(std::move(result));
+  }
   return report;
 }
 
@@ -213,7 +373,8 @@ std::string chaos_report_to_json(const ChaosReport& report) {
   JsonWriter json;
   json.begin_object();
   json.field("schema", "pcflow-chaos");
-  json.field("schema_version", std::int64_t{1});
+  // v2 adds the checkpoint-vs-intrinsic race family (restore_cells).
+  json.field("schema_version", std::int64_t{2});
   json.field("mode", report.options.fast ? "fast" : "full");
   json.field("seed", report.options.seed);
   // No wall-clock fields anywhere: a chaos report is byte-deterministic per
@@ -245,6 +406,33 @@ std::string chaos_report_to_json(const ChaosReport& report) {
     json.field("rejoins", r.rejoins);
     json.field("false_detects", r.false_detects);
     json.field("messages_duplicated", r.messages_duplicated);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("restore_cell_count", static_cast<std::uint64_t>(report.restore_cells.size()));
+  json.key("restore_cells");
+  json.begin_array();
+  for (const ChaosRestoreResult& r : report.restore_cells) {
+    json.begin_object();
+    json.field("name", r.cell.name);
+    json.field("algorithm", r.cell.algorithm);
+    json.field("topology", r.cell.topology);
+    json.field("engine", r.cell.engine);
+    json.field("nodes", static_cast<std::uint64_t>(r.nodes));
+    json.field("trials", static_cast<std::uint64_t>(r.cell.trials));
+    json.field("kill_round", static_cast<std::uint64_t>(r.cell.kill_round));
+    json.field("checkpoint_every", static_cast<std::uint64_t>(r.cell.checkpoint_every));
+    json.field("max_rounds", static_cast<std::uint64_t>(r.cell.max_rounds));
+    json.field("tol", r.cell.tol);
+    json.field("fingerprint_matches", static_cast<std::uint64_t>(r.fingerprint_matches));
+    json.field("restore_converged", static_cast<std::uint64_t>(r.restore_converged));
+    json.field("intrinsic_converged", static_cast<std::uint64_t>(r.intrinsic_converged));
+    json.field("checkpoint_bytes_full", r.checkpoint_bytes_full);
+    json.field("checkpoint_bytes_light", r.checkpoint_bytes_light);
+    emit_quantiles(json, "restore_rounds", r.restore_rounds);
+    emit_quantiles(json, "restore_error", r.restore_error);
+    emit_quantiles(json, "intrinsic_rounds", r.intrinsic_rounds);
+    emit_quantiles(json, "intrinsic_error", r.intrinsic_error);
     json.end_object();
   }
   json.end_array();

@@ -66,6 +66,47 @@ struct ChaosCellResult {
   std::uint64_t messages_duplicated = 0;
 };
 
+/// One checkpoint-vs-intrinsic race cell (the second scenario family): the
+/// simulation process dies at `kill_round`; two recovery strategies race back
+/// to the accuracy target `tol`:
+///   * restore   — resume from the last periodic checkpoint (taken every
+///                 `checkpoint_every` rounds) and replay to the kill point —
+///                 the replay must land on a bitwise-identical state
+///                 fingerprint, which the harness verifies — then converge;
+///   * intrinsic — PCF's zero-checkpoint story: restart cold from the
+///                 construction inputs and let the algorithm reconverge from
+///                 scratch.
+/// Rounds-after-kill and residual error of both contenders are reported, so
+/// the JSON answers "what does a checkpoint actually buy over the algorithm's
+/// own fault tolerance, and at what blob size".
+struct ChaosRestoreCell {
+  std::string name;       ///< unique id, e.g. "restore/pcf/ring:16/legacy"
+  std::string algorithm;  ///< ps | pf | pcf | fu
+  std::string topology;   ///< net::Topology::parse spec
+  std::string engine = "legacy";  ///< legacy | arena
+  std::size_t trials = 2;
+  std::size_t kill_round = 60;        ///< the process dies after this round
+  std::size_t checkpoint_every = 20;  ///< periodic checkpoint cadence
+  std::size_t max_rounds = 3000;      ///< per-contender convergence cap
+  double tol = 1e-9;                  ///< accuracy target both contenders race to
+};
+
+struct ChaosRestoreResult {
+  ChaosRestoreCell cell;
+  std::size_t nodes = 0;
+  /// Trials whose restored replay reproduced the pre-kill state fingerprint
+  /// bitwise — must equal `cell.trials` for a healthy checkpoint layer.
+  std::size_t fingerprint_matches = 0;
+  std::size_t restore_converged = 0;    ///< restore contender reached tol
+  std::size_t intrinsic_converged = 0;  ///< intrinsic contender reached tol
+  std::uint64_t checkpoint_bytes_full = 0;   ///< wire-inclusive blob size
+  std::uint64_t checkpoint_bytes_light = 0;  ///< state-only blob size
+  QuantileSummary restore_rounds;    ///< rounds after the kill (replay + converge)
+  QuantileSummary restore_error;     ///< residual oracle error at stop
+  QuantileSummary intrinsic_rounds;  ///< rounds after the kill (cold reconvergence)
+  QuantileSummary intrinsic_error;
+};
+
 struct ChaosOptions {
   bool fast = false;  ///< CI-sized sweep (fewer cells, shorter phases)
   std::uint64_t seed = 1;
@@ -74,15 +115,19 @@ struct ChaosOptions {
 struct ChaosReport {
   ChaosOptions options;
   std::vector<ChaosCellResult> cells;
+  std::vector<ChaosRestoreResult> restore_cells;
 };
 
 /// The sweep grid for `fast` (CI smoke) or the full ramp.
 [[nodiscard]] std::vector<ChaosCell> make_chaos_cells(bool fast);
 
+/// The checkpoint-vs-intrinsic race grid (see ChaosRestoreCell).
+[[nodiscard]] std::vector<ChaosRestoreCell> make_chaos_restore_cells(bool fast);
+
 /// Runs the sweep serially in deterministic cell × trial order.
 [[nodiscard]] ChaosReport run_chaos(const ChaosOptions& options);
 
-/// Serializes to the versioned CHAOS_pcflow.json schema ("pcflow-chaos", 1).
+/// Serializes to the versioned CHAOS_pcflow.json schema ("pcflow-chaos", 2).
 [[nodiscard]] std::string chaos_report_to_json(const ChaosReport& report);
 
 }  // namespace pcf::bench

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "support/binio.hpp"
+
 namespace pcf::core {
 
 namespace {
@@ -375,6 +377,99 @@ void ArenaFleet::reset_node(NodeId i, const Mass& initial) {
         zero_row(row(flows_, base + s), stride_);
         zero_row(row(estimates_, base + s), stride_);
         have_estimate_[base + s] = 0;
+      }
+      return;
+  }
+}
+
+namespace {
+void write_row(BinaryWriter& w, const double* r, std::size_t stride) {
+  for (std::size_t k = 0; k < stride; ++k) w.f64(r[k]);
+}
+void read_row(BinaryReader& r, double* out, std::size_t stride) {
+  for (std::size_t k = 0; k < stride; ++k) out[k] = r.f64();
+}
+}  // namespace
+
+void ArenaFleet::save_node(NodeId i, BinaryWriter& w) const {
+  const std::size_t base = offsets_[i];
+  const std::size_t deg = degree(i);
+  w.u64(deg);
+  for (std::size_t s = 0; s < deg; ++s) w.u8(alive_[base + s]);
+  switch (algorithm_) {
+    case Algorithm::kPushSum:
+      write_row(w, row(mass_, i), stride_);
+      return;
+    case Algorithm::kPushFlow:
+      write_row(w, row(initial_, i), stride_);  // mutable via update_data
+      for (std::size_t s = 0; s < deg; ++s) write_row(w, row(flows_, base + s), stride_);
+      if (config_.pf_cached_flow_sum) write_row(w, row(cached_, i), stride_);
+      return;
+    case Algorithm::kPushCancelFlow:
+      write_row(w, row(initial_, i), stride_);
+      for (std::size_t s = 0; s < deg; ++s) {
+        const std::size_t e = base + s;
+        write_row(w, pcf_flow(e, 0), stride_);
+        write_row(w, pcf_flow(e, 1), stride_);
+        w.u8(active_[e]);
+        w.u64(cycle_[e]);
+        write_row(w, row(pending_, e), stride_);
+      }
+      write_row(w, row(phi_, i), stride_);
+      w.u64(role_swaps_[i]);
+      return;
+    case Algorithm::kFlowUpdating:
+      write_row(w, row(initial_, i), stride_);
+      for (std::size_t s = 0; s < deg; ++s) {
+        const std::size_t e = base + s;
+        write_row(w, row(flows_, e), stride_);
+        write_row(w, row(estimates_, e), stride_);
+        w.u8(have_estimate_[e]);
+      }
+      return;
+  }
+}
+
+void ArenaFleet::load_node(NodeId i, BinaryReader& r) {
+  const std::size_t base = offsets_[i];
+  const std::size_t deg = degree(i);
+  if (r.u64() != deg) throw BinioError("arena checkpoint: node degree mismatch");
+  std::uint32_t lc = 0;
+  for (std::uint32_t s = 0; s < deg; ++s) {
+    alive_[base + s] = r.u8() ? 1 : 0;
+    if (alive_[base + s] != 0) live_slots_[base + lc++] = s;
+  }
+  live_count_[i] = lc;
+  switch (algorithm_) {
+    case Algorithm::kPushSum:
+      read_row(r, row(mass_, i), stride_);
+      return;
+    case Algorithm::kPushFlow:
+      read_row(r, row(initial_, i), stride_);
+      for (std::size_t s = 0; s < deg; ++s) read_row(r, row(flows_, base + s), stride_);
+      if (config_.pf_cached_flow_sum) read_row(r, row(cached_, i), stride_);
+      return;
+    case Algorithm::kPushCancelFlow:
+      read_row(r, row(initial_, i), stride_);
+      for (std::size_t s = 0; s < deg; ++s) {
+        const std::size_t e = base + s;
+        read_row(r, pcf_flow(e, 0), stride_);
+        read_row(r, pcf_flow(e, 1), stride_);
+        active_[e] = r.u8();
+        if (active_[e] > 1) throw BinioError("arena checkpoint: active slot out of range");
+        cycle_[e] = r.u64();
+        read_row(r, row(pending_, e), stride_);
+      }
+      read_row(r, row(phi_, i), stride_);
+      role_swaps_[i] = r.u64();
+      return;
+    case Algorithm::kFlowUpdating:
+      read_row(r, row(initial_, i), stride_);
+      for (std::size_t s = 0; s < deg; ++s) {
+        const std::size_t e = base + s;
+        read_row(r, row(flows_, e), stride_);
+        read_row(r, row(estimates_, e), stride_);
+        have_estimate_[e] = r.u8() ? 1 : 0;
       }
       return;
   }

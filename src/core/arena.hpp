@@ -112,6 +112,15 @@ class ArenaFleet {
   void on_link_up(NodeId i, NodeId j);
   void update_data(NodeId i, const Mass& delta);
   bool corrupt_stored_flow(NodeId i, Rng& rng);
+  /// Checkpointing: dumps node i's mutable arena rows — per-edge liveness
+  /// plus the current algorithm's flat state spans — as raw IEEE-754 bits.
+  /// The CSR adjacency is topology-derived and not written. Format layout:
+  /// DESIGN.md §8.
+  void save_node(NodeId i, BinaryWriter& w) const;
+  /// Restores rows written by save_node for the same topology/algorithm;
+  /// rebuilds the node's live-slot prefix. Throws BinioError on a degree
+  /// mismatch or truncation.
+  void load_node(NodeId i, BinaryReader& r);
   /// Rejoin support: restores node i to its factory-fresh post-init state in
   /// place — all slots alive, zeroed flow state, `initial` as the input mass.
   /// The node keeps its arena rows; rejoin never grows the arena.
@@ -384,6 +393,8 @@ class ArenaReducer final : public Reducer {
   [[nodiscard]] bool in_flight_mass_accumulates() const noexcept override {
     return fleet_->in_flight_mass_accumulates();
   }
+  void save_state(BinaryWriter& w) const override { fleet_->save_node(self_, w); }
+  void load_state(BinaryReader& r) override { fleet_->load_node(self_, r); }
   /// Test/checker hook, mirroring PushCancelFlow::edge_state.
   [[nodiscard]] PushCancelFlow::EdgeView edge_state(NodeId j) const {
     return fleet_->pcf_edge_state(self_, j);

@@ -1,5 +1,7 @@
 #include "core/extrema.hpp"
 
+#include "core/state_io.hpp"
+
 #include <algorithm>
 
 namespace pcf::core {
@@ -63,6 +65,20 @@ void ExtremaGossip::update_data(const Mass& delta) {
   // shrinks the range cannot take effect — inherent to min/max gossip.)
   min_ = std::min(min_, delta.s[0]);
   max_ = std::max(max_, delta.s[0]);
+}
+
+void ExtremaGossip::save_state(BinaryWriter& w) const {
+  PCF_CHECK_MSG(initialized_, "save_state before init");
+  neighbors_.save_state(w);
+  w.f64(min_);
+  w.f64(max_);
+}
+
+void ExtremaGossip::load_state(BinaryReader& r) {
+  PCF_CHECK_MSG(initialized_, "load_state before init");
+  neighbors_.load_state(r);
+  min_ = r.f64();
+  max_ = r.f64();
 }
 
 }  // namespace pcf::core

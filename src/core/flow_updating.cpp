@@ -1,5 +1,7 @@
 #include "core/flow_updating.hpp"
 
+#include "core/state_io.hpp"
+
 #include <cmath>
 #include <cstring>
 
@@ -149,6 +151,28 @@ double FlowUpdating::max_abs_flow_component() const noexcept {
     best = std::max(best, std::fabs(flows_[slot].w));
   }
   return best;
+}
+
+void FlowUpdating::save_state(BinaryWriter& w) const {
+  PCF_CHECK_MSG(initialized_, "save_state before init");
+  neighbors_.save_state(w);
+  write_mass(w, initial_);  // mutable via update_data
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    write_mass(w, flows_[slot]);
+    write_mass(w, estimates_[slot]);
+    w.boolean(have_estimate_[slot]);
+  }
+}
+
+void FlowUpdating::load_state(BinaryReader& r) {
+  PCF_CHECK_MSG(initialized_, "load_state before init");
+  neighbors_.load_state(r);
+  initial_ = read_mass(r);
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    flows_[slot] = read_mass(r);
+    estimates_[slot] = read_mass(r);
+    have_estimate_[slot] = r.boolean();
+  }
 }
 
 }  // namespace pcf::core

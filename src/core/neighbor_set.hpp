@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "support/binio.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -87,6 +88,27 @@ class NeighborSet {
     live_slots_.insert(
         std::lower_bound(live_slots_.begin(), live_slots_.end(), s), s);
     return slot;
+  }
+
+  /// Checkpointing: only the liveness flags are mutable state — ids_ comes
+  /// from the topology (re-supplied at restore via init), and live_slots_ is
+  /// derived from the flags, so neither is serialized.
+  void save_state(BinaryWriter& w) const {
+    w.u64(ids_.size());
+    for (const std::uint8_t a : alive_) w.u8(a);
+  }
+
+  /// Restores flags saved by save_state into an init()-ed set with the same
+  /// neighborhood; rebuilds live_slots_. Throws BinioError on a neighbor
+  /// count that does not match this set (wrong-topology checkpoint).
+  void load_state(BinaryReader& r) {
+    const std::uint64_t n = r.u64();
+    if (n != ids_.size()) throw BinioError("neighbor count mismatch in checkpoint");
+    live_slots_.clear();
+    for (std::uint32_t s = 0; s < ids_.size(); ++s) {
+      alive_[s] = r.u8() ? 1 : 0;
+      if (alive_[s]) live_slots_.push_back(s);
+    }
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "core/push_cancel_flow.hpp"
 
+#include "core/state_io.hpp"
+
 #include <cmath>
 #include <cstring>
 
@@ -346,6 +348,37 @@ PushCancelFlow::EdgeView PushCancelFlow::edge_state(NodeId j) const {
   PCF_CHECK_MSG(slot.has_value(), "edge_state: node " << j << " is not a neighbor");
   const EdgeState& e = edges_[*slot];
   return EdgeView{e.flow[0], e.flow[1], static_cast<std::uint8_t>(e.active + 1), e.cycle};
+}
+
+void PushCancelFlow::save_state(BinaryWriter& w) const {
+  PCF_CHECK_MSG(initialized_, "save_state before init");
+  neighbors_.save_state(w);
+  write_mass(w, initial_);  // mutable via update_data
+  for (const EdgeState& e : edges_) {
+    write_mass(w, e.flow[0]);
+    write_mass(w, e.flow[1]);
+    w.u8(e.active);
+    w.u64(e.cycle);
+    write_mass(w, e.pending_absorbed);
+  }
+  write_mass(w, phi_);
+  w.u64(role_swaps_);
+}
+
+void PushCancelFlow::load_state(BinaryReader& r) {
+  PCF_CHECK_MSG(initialized_, "load_state before init");
+  neighbors_.load_state(r);
+  initial_ = read_mass(r);
+  for (EdgeState& e : edges_) {
+    e.flow[0] = read_mass(r);
+    e.flow[1] = read_mass(r);
+    e.active = r.u8();
+    if (e.active > 1) throw BinioError("pcf checkpoint: active slot out of range");
+    e.cycle = r.u64();
+    e.pending_absorbed = read_mass(r);
+  }
+  phi_ = read_mass(r);
+  role_swaps_ = r.u64();
 }
 
 }  // namespace pcf::core

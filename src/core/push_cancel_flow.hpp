@@ -76,6 +76,8 @@ class PushCancelFlow final : public Reducer {
   void on_link_down(NodeId j) override;
   void on_link_up(NodeId j) override;
   void update_data(const Mass& delta) override;
+  void save_state(BinaryWriter& w) const override;
+  void load_state(BinaryReader& r) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return config_.pcf_variant == PcfVariant::kFast ? "push-cancel-flow/fast"
                                                     : "push-cancel-flow/robust";

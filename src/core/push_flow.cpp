@@ -1,5 +1,7 @@
 #include "core/push_flow.hpp"
 
+#include "core/state_io.hpp"
+
 #include <cmath>
 #include <cstring>
 
@@ -148,6 +150,22 @@ const Mass& PushFlow::flow_to(NodeId j) const {
   const auto slot = neighbors_.slot_of(j);
   PCF_CHECK_MSG(slot.has_value(), "flow_to: node " << j << " is not a neighbor");
   return flows_[*slot];
+}
+
+void PushFlow::save_state(BinaryWriter& w) const {
+  PCF_CHECK_MSG(initialized_, "save_state before init");
+  neighbors_.save_state(w);
+  write_mass(w, initial_);  // mutable via update_data
+  for (const Mass& f : flows_) write_mass(w, f);
+  write_mass(w, cached_flow_sum_);
+}
+
+void PushFlow::load_state(BinaryReader& r) {
+  PCF_CHECK_MSG(initialized_, "load_state before init");
+  neighbors_.load_state(r);
+  initial_ = read_mass(r);
+  for (Mass& f : flows_) f = read_mass(r);
+  cached_flow_sum_ = read_mass(r);
 }
 
 }  // namespace pcf::core

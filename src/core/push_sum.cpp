@@ -1,5 +1,7 @@
 #include "core/push_sum.hpp"
 
+#include "core/state_io.hpp"
+
 namespace pcf::core {
 
 void PushSum::init(NodeId /*self*/, std::span<const NodeId> neighbors, Mass initial) {
@@ -69,6 +71,18 @@ void PushSum::on_link_down(NodeId j) {
 void PushSum::on_link_up(NodeId j) {
   // No per-edge state to rebuild; just start selecting the neighbor again.
   (void)neighbors_.mark_alive(j);
+}
+
+void PushSum::save_state(BinaryWriter& w) const {
+  PCF_CHECK_MSG(initialized_, "save_state before init");
+  neighbors_.save_state(w);
+  write_mass(w, mass_);
+}
+
+void PushSum::load_state(BinaryReader& r) {
+  PCF_CHECK_MSG(initialized_, "load_state before init");
+  neighbors_.load_state(r);
+  mass_ = read_mass(r);
 }
 
 }  // namespace pcf::core

@@ -24,6 +24,8 @@ class PushSum final : public Reducer {
   void on_link_down(NodeId j) override;
   void on_link_up(NodeId j) override;
   void update_data(const Mass& delta) override;
+  void save_state(BinaryWriter& w) const override;
+  void load_state(BinaryReader& r) override;
   [[nodiscard]] std::string_view name() const noexcept override { return "push-sum"; }
   [[nodiscard]] std::size_t live_degree() const noexcept override {
     return neighbors_.live_count();

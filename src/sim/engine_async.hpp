@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/reducer.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/event_heap.hpp"
 #include "sim/faults.hpp"
 #include "sim/invariants.hpp"
@@ -84,6 +85,30 @@ class AsyncEngine {
   [[nodiscard]] const InvariantMonitor* invariants() const noexcept { return monitor_.get(); }
   /// Runs all invariant checkers against the current state immediately.
   void check_invariants_now();
+
+  // ---- checkpoint / restore (sim/checkpoint.cpp; DESIGN.md §8) ----
+
+  /// Serializes the engine's complete mutable state between run_until()s.
+  /// kFull saves the pending event heap verbatim (in-flight packets
+  /// included) — restore continues bitwise-identically. kLightweight drops
+  /// the queued kDelivery events (FTPregel-style state-only snapshot): the
+  /// blob shrinks by the in-flight traffic, the flow algorithms re-mirror
+  /// the lost packets away, and push-sum loses the in-flight mass.
+  [[nodiscard]] std::string save_checkpoint(CheckpointMode mode = CheckpointMode::kFull) const;
+
+  /// Restores a checkpoint written by save_checkpoint into this engine, which
+  /// must have been constructed with the identical topology, initial masses
+  /// and config (validated via the blob's compatibility hash). Throws
+  /// CheckpointError on truncated/corrupted/version-skewed blobs or an
+  /// incompatible engine; header and compatibility validation happen before
+  /// any state is touched, but a throw from deeper body corruption leaves the
+  /// engine in an unspecified state — discard it.
+  void restore(std::string_view checkpoint);
+
+  /// FNV-1a hash of the bit-exact live protocol state (see the sync engine's
+  /// state_fingerprint). Includes now() but not the pending queue, so it
+  /// compares node-state agreement at a common simulation time.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
 
  private:
   struct View;

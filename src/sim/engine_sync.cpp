@@ -140,6 +140,7 @@ SyncEngine::SyncEngine(net::Topology topology, std::span<const core::Mass> initi
     node_rngs_.push_back(base.fork(i));
   }
   alive_.assign(topology.size(), true);
+  rejoin_counts_.assign(topology.size(), 0);
   shards_ = std::max<std::size_t>(1, resolve_thread_count(config_.shards, topology.size()));
 
   // Events fire in time order regardless of the order given in the plan.
@@ -217,6 +218,7 @@ void SyncEngine::rejoin_node(NodeId node, double physical_time) {
   if (alive_[node]) return;
   alive_[node] = true;
   ++rejoins_fired_;
+  ++rejoin_counts_[node];
   // The crashed node's state is gone: rebuild the reducer from the initial
   // mass. Its node RNG stream continues where it left off (a fresh process,
   // not a replay). In arena mode the node REUSES its arena rows (reset in

@@ -19,6 +19,7 @@
 #include "core/reducer.hpp"
 #include "core/stopping.hpp"
 #include "net/topology.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/faults.hpp"
 #include "sim/invariants.hpp"
 #include "sim/metrics.hpp"
@@ -170,6 +171,36 @@ class SyncEngine {
   /// (independent of the per-round cadence). No-op when checking is disabled.
   void check_invariants_now();
 
+  // ---- checkpoint / restore (sim/checkpoint.cpp; DESIGN.md §8) ----
+
+  /// Serializes the engine's complete mutable state. Call between step()s —
+  /// the synchronous wire is empty at every round boundary, so kLightweight
+  /// and kFull produce the same body here (the mode is recorded for
+  /// symmetry with the async engine).
+  [[nodiscard]] std::string save_checkpoint(CheckpointMode mode = CheckpointMode::kFull) const;
+
+  /// Restores a checkpoint written by save_checkpoint into this engine, which
+  /// must have been constructed with the identical topology, initial masses
+  /// and config (validated via the blob's compatibility hash). Throws
+  /// CheckpointError on truncated/corrupted/version-skewed blobs or an
+  /// incompatible engine; header and compatibility validation happen before
+  /// any state is touched, but a throw from deeper body corruption leaves the
+  /// engine in an unspecified state — discard it. After a successful restore,
+  /// continuation is bitwise-identical to the saved run (per-round
+  /// state_fingerprint(), message for message).
+  void restore(std::string_view checkpoint);
+
+  /// FNV-1a hash of the bit-exact live protocol state: round, per-node
+  /// liveness, masses, estimates, flows toward every topology neighbor, and
+  /// PCF handshake counters. Two engines in the same state agree; any bitwise
+  /// state divergence shows. The restore-equivalence probe used by the tests,
+  /// the chaos-restore scenarios and `pcflow checkpoint`.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
+  /// Times node i rejoined after a crash (checkpointed; the session layer
+  /// uses this to re-apply data updates a dead node missed).
+  [[nodiscard]] std::uint64_t rejoin_count(NodeId i) const { return rejoin_counts_.at(i); }
+
  private:
   struct View;
   struct LegacyOps;
@@ -237,6 +268,7 @@ class SyncEngine {
   std::size_t next_node_rejoin_ = 0;
   std::size_t next_false_detect_ = 0;
   std::size_t round_ = 0;
+  std::vector<std::uint64_t> rejoin_counts_;  // per node, monotone
   RunStats stats_;
   PerfCounters perf_;
   bool pending_retarget_ = false;

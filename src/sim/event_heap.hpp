@@ -38,6 +38,17 @@ class EventHeap {
   /// All pending events in unspecified (heap) order — inspection only.
   [[nodiscard]] std::span<const T> items() const noexcept { return heap_; }
 
+  /// Checkpoint restore: replaces the pending events wholesale.
+  /// `already_heap` means `items` came verbatim from items() of a saved heap
+  /// and is installed without re-heapifying — pop order (including the
+  /// tie-break-free raw layout) is then identical to the saved engine's, which
+  /// the bitwise-continuation guarantee requires. Otherwise (lightweight
+  /// restore filtered the list) the heap property is re-established.
+  void restore_items(std::vector<T> items, bool already_heap) {
+    heap_ = std::move(items);
+    if (!already_heap) std::make_heap(heap_.begin(), heap_.end(), cmp_);
+  }
+
   /// Times the backing vector grew (each growth is a reallocation + move of
   /// every pending event — the hot-path allocation cost PerfCounters tracks).
   [[nodiscard]] std::uint64_t reallocations() const noexcept { return reallocations_; }

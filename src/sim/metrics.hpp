@@ -15,6 +15,11 @@
 #include "core/mass.hpp"
 #include "support/table.hpp"
 
+namespace pcf {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace pcf
+
 namespace pcf::sim {
 
 class Oracle {
@@ -42,6 +47,11 @@ class Oracle {
   /// Relative error of one estimate: |e − t| / |t| (absolute error when the
   /// target is 0; +inf for non-finite estimates).
   [[nodiscard]] double error_of(double estimate, std::size_t k = 0) const;
+
+  /// Checkpointing: the conserved targets are mutated by retarget()/shift(),
+  /// so they are engine state and travel in checkpoints bit-exactly.
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
 
  private:
   void compute(std::span<const core::Mass> masses);

@@ -1,10 +1,16 @@
 #include "sim/session.hpp"
 
+#include "support/binio.hpp"
 #include "support/check.hpp"
 
 namespace pcf::sim {
 
 namespace {
+
+/// Session blob = this prelude (session bookkeeping) + the engine checkpoint
+/// as a length-prefixed string. Versioned with kCheckpointVersion: the engine
+/// blob inside carries the same version, so they bump together.
+constexpr std::string_view kSessionMagic{"PCFSESS\0", 8};
 
 SyncEngineConfig engine_config(const SessionOptions& options) {
   SyncEngineConfig cfg;
@@ -12,6 +18,18 @@ SyncEngineConfig engine_config(const SessionOptions& options) {
   cfg.reducer = options.reducer;
   cfg.faults = options.faults;
   cfg.seed = options.seed;
+  cfg.delivery = options.delivery;
+  cfg.mode = options.mode;
+  cfg.shards = options.shards;
+  cfg.invariants = options.invariants;
+  // Field-count pin (the FaultPlan pin's pattern): if SyncEngineConfig grows
+  // a field this stops compiling, forcing a decision on whether the session
+  // forwards it. The session once silently dropped mode/shards — engines ran
+  // legacy single-shard regardless of what the caller asked for.
+  {
+    [[maybe_unused]] const auto& [algorithm, reducer, faults, seed, delivery, mode, shards,
+                                  invariants] = cfg;
+  }
   return cfg;
 }
 
@@ -21,13 +39,15 @@ ReductionSession::ReductionSession(net::Topology topology,
                                    std::span<const core::Values> initial,
                                    SessionOptions options)
     : options_(std::move(options)),
+      base_(initial.begin(), initial.end()),
       current_(initial.begin(), initial.end()),
       engine_(std::move(topology), masses_from_vectors(initial, options_.aggregate),
-              engine_config(options_)) {
+              engine_config(options_)),
+      seen_rejoins_(initial.size(), 0) {
   PCF_CHECK_MSG(!current_.empty(), "session needs inputs");
 }
 
-SessionQueryResult ReductionSession::run_to_target() {
+SessionQueryResult ReductionSession::run_to_target(std::size_t dropped, std::size_t reapplied) {
   const std::size_t before = engine_.round();
   const auto stats =
       engine_.run_until_error(options_.target_accuracy, options_.max_rounds_per_query);
@@ -37,6 +57,8 @@ SessionQueryResult ReductionSession::run_to_target() {
   result.rounds = engine_.round() - before;
   result.reached_target = stats.reached_target;
   result.max_error = engine_.max_error();
+  result.dropped_updates = dropped;
+  result.reapplied_updates = reapplied;
   const std::size_t d = current_.front().size();
   result.estimates.assign(engine_.size(),
                           std::vector<double>(d, std::numeric_limits<double>::quiet_NaN()));
@@ -47,8 +69,35 @@ SessionQueryResult ReductionSession::run_to_target() {
   return result;
 }
 
+std::size_t ReductionSession::sync_rejoined_nodes() {
+  std::size_t reapplied = 0;
+  const std::size_t d = current_.front().size();
+  for (net::NodeId i = 0; i < engine_.size(); ++i) {
+    if (engine_.rejoin_count(i) == seen_rejoins_[i]) continue;
+    // A node that crashed again after rejoining is skipped WITHOUT advancing
+    // the watermark — the drift is re-applied after its next rejoin instead.
+    if (!engine_.node_alive(i)) continue;
+    seen_rejoins_[i] = engine_.rejoin_count(i);
+    core::Mass delta = core::Mass::zero(d);
+    bool changed = false;
+    for (std::size_t k = 0; k < d; ++k) {
+      delta.s[k] = current_[i][k] - base_[i][k];
+      changed = changed || delta.s[k] != 0.0;
+    }
+    if (changed) {
+      engine_.apply_data_update(i, delta);
+      ++reapplied;
+    }
+  }
+  return reapplied;
+}
+
 SessionQueryResult ReductionSession::query(std::span<const core::Values> values) {
   PCF_CHECK_MSG(values.size() == current_.size(), "one input vector per node required");
+  // Rejoin sync first: it re-applies drift relative to base_, so it must see
+  // the PREVIOUS current_ — the new deltas below then stack on top.
+  const std::size_t reapplied = sync_rejoined_nodes();
+  std::size_t dropped = 0;
   const std::size_t d = current_.front().size();
   for (net::NodeId i = 0; i < values.size(); ++i) {
     PCF_CHECK_MSG(values[i].size() == d, "session input dimension is fixed at construction");
@@ -58,18 +107,79 @@ SessionQueryResult ReductionSession::query(std::span<const core::Values> values)
       delta.s[k] = values[i][k] - current_[i][k];
       changed = changed || delta.s[k] != 0.0;
     }
-    if (changed && engine_.node_alive(i)) {
+    if (!changed) continue;
+    // Record the desired value even when the node is dead: the update is
+    // buffered, not lost — sync_rejoined_nodes() re-applies the accumulated
+    // drift when the node comes back. (current_[i] used to stay stale here,
+    // so the NEXT query's delta silently shifted the session's target.)
+    current_[i] = values[i];
+    if (engine_.node_alive(i)) {
       engine_.apply_data_update(i, delta);
-      current_[i] = values[i];
+    } else {
+      ++dropped;
     }
   }
-  return run_to_target();
+  return run_to_target(dropped, reapplied);
 }
 
-SessionQueryResult ReductionSession::refresh() { return run_to_target(); }
+SessionQueryResult ReductionSession::refresh() { return run_to_target(0, sync_rejoined_nodes()); }
 
 void ReductionSession::fail_link(net::NodeId a, net::NodeId b) { engine_.fail_link_now(a, b); }
 
 void ReductionSession::heal_link(net::NodeId a, net::NodeId b) { engine_.heal_link_now(a, b); }
+
+std::string ReductionSession::save_checkpoint(CheckpointMode mode) const {
+  BinaryWriter w;
+  w.raw(kSessionMagic.data(), kSessionMagic.size());
+  w.u32(kCheckpointVersion);
+  w.u64(queries_);
+  w.u64(current_.size());
+  w.u64(current_.front().size());
+  for (const auto& values : current_) {
+    for (double v : values) w.f64(v);
+  }
+  for (std::uint64_t n : seen_rejoins_) w.u64(n);
+  w.str(engine_.save_checkpoint(mode));
+  return std::move(w).take();
+}
+
+void ReductionSession::restore(std::string_view checkpoint) {
+  BinaryReader r(checkpoint);
+  std::size_t queries = 0;
+  std::vector<core::Values> current;
+  std::vector<std::uint64_t> seen;
+  std::string_view engine_blob;
+  try {
+    if (r.raw(kSessionMagic.size()) != kSessionMagic) {
+      throw CheckpointError("not a pcflow session checkpoint");
+    }
+    const std::uint32_t version = r.u32();
+    if (version != kCheckpointVersion) {
+      throw CheckpointError("unsupported session checkpoint version");
+    }
+    queries = static_cast<std::size_t>(r.u64());
+    const std::uint64_t nodes = r.u64();
+    const std::uint64_t dim = r.u64();
+    if (nodes != current_.size() || dim != current_.front().size()) {
+      throw CheckpointError("session checkpoint node count or dimension mismatch");
+    }
+    current.assign(current_.size(), core::Values(current_.front().size()));
+    for (auto& values : current) {
+      for (double& v : values) v = r.f64();
+    }
+    seen.resize(current_.size());
+    for (std::uint64_t& n : seen) n = r.u64();
+    engine_blob = r.str();
+    r.expect_end();
+  } catch (const BinioError&) {
+    throw CheckpointError("corrupt session checkpoint");
+  }
+  // Engine restore validates compatibility and throws before the session's
+  // own state is touched.
+  engine_.restore(engine_blob);
+  queries_ = queries;
+  current_ = std::move(current);
+  seen_rejoins_ = std::move(seen);
+}
 
 }  // namespace pcf::sim

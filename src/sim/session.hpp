@@ -36,6 +36,13 @@ struct SessionOptions {
   double target_accuracy = 1e-12;
   std::size_t max_rounds_per_query = 50000;
   FaultPlan faults;  ///< probabilistic knobs apply to the whole session
+  /// Engine knobs, forwarded verbatim to SyncEngineConfig — sessions run on
+  /// the arena backend (mode = kArena, shards > 1) exactly like standalone
+  /// engines do.
+  Delivery delivery = Delivery::kSequential;
+  EngineMode mode = EngineMode::kLegacy;
+  std::size_t shards = 1;
+  InvariantConfig invariants;
 };
 
 struct SessionQueryResult {
@@ -44,6 +51,13 @@ struct SessionQueryResult {
   std::size_t rounds = 0;  ///< gossip rounds THIS query cost
   bool reached_target = false;
   double max_error = 0.0;
+  /// Input updates this query addressed to crashed nodes. They are NOT lost:
+  /// the session buffers the desired value and re-applies the accumulated
+  /// delta when the node rejoins (see reapplied_updates).
+  std::size_t dropped_updates = 0;
+  /// Buffered updates re-applied this query to nodes that rejoined since the
+  /// previous query (a rejoined node restarts from its construction input).
+  std::size_t reapplied_updates = 0;
 
   [[nodiscard]] double estimate(std::size_t node, std::size_t k = 0) const {
     return estimates.at(node).at(k);
@@ -77,13 +91,28 @@ class ReductionSession {
   [[nodiscard]] std::size_t queries() const noexcept { return queries_; }
   [[nodiscard]] const SyncEngine& engine() const noexcept { return engine_; }
 
+  /// Serializes session bookkeeping (query count, buffered input values,
+  /// rejoin watermarks) plus the full engine checkpoint — a warm session
+  /// survives a process restart (DESIGN.md §8). Restore into a session
+  /// constructed with the identical topology, initial inputs and options;
+  /// throws CheckpointError otherwise.
+  [[nodiscard]] std::string save_checkpoint(CheckpointMode mode = CheckpointMode::kFull) const;
+  void restore(std::string_view checkpoint);
+
  private:
-  SessionQueryResult run_to_target();
+  SessionQueryResult run_to_target(std::size_t dropped, std::size_t reapplied);
+  /// Re-applies the buffered input drift (current − base) of every node that
+  /// rejoined since the last query — the rejoined node restarted from its
+  /// construction input, so without this the session's belief and the
+  /// engine's state diverge silently. Returns how many updates were applied.
+  std::size_t sync_rejoined_nodes();
 
   SessionOptions options_;
-  std::vector<core::Values> current_;
+  std::vector<core::Values> base_;     ///< construction inputs (rejoin baseline)
+  std::vector<core::Values> current_;  ///< latest *desired* value per node
   SyncEngine engine_;
   std::size_t queries_ = 0;
+  std::vector<std::uint64_t> seen_rejoins_;  ///< engine rejoin_count watermarks
 };
 
 }  // namespace pcf::sim

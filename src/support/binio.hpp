@@ -1,0 +1,142 @@
+// Deterministic binary serialization primitives for the checkpoint layer.
+//
+// Checkpoints must be byte-identical across platforms and compilers (CI
+// compares them and tests pin a golden format hash), so every integer is
+// written little-endian byte by byte and every double travels as its IEEE-754
+// bit pattern — never through locale- or precision-dependent text formatting.
+// The reader is defensive: checkpoints come from disk and may be truncated or
+// corrupted, so every read is bounds-checked and throws BinioError instead of
+// reading past the end (the checkpoint layer converts that into a rejected
+// restore, see sim/checkpoint.hpp).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pcf {
+
+/// Malformed or truncated binary input. Never indicates a programming error —
+/// callers feed untrusted bytes and handle this as a rejected input.
+class BinioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends fixed-width little-endian fields to a growing byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void raw(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  /// Length-prefixed byte string.
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buf_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Cursor over a byte buffer; every read throws BinioError on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw BinioError("binio: boolean byte out of range");
+    return v != 0;
+  }
+
+  [[nodiscard]] std::string_view raw(std::size_t size) {
+    need(size);
+    const std::string_view out = data_.substr(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+  /// Length-prefixed byte string (see BinaryWriter::str).
+  [[nodiscard]] std::string_view str() {
+    const std::uint64_t size = u64();
+    if (size > remaining()) throw BinioError("binio: string length exceeds input");
+    return raw(static_cast<std::size_t>(size));
+  }
+
+  /// Bounds-checked element count for a sequence whose elements occupy at
+  /// least `min_element_bytes` each — rejects counts a truncated or corrupted
+  /// length prefix could not possibly satisfy before any allocation happens.
+  [[nodiscard]] std::size_t count(std::size_t min_element_bytes) {
+    const std::uint64_t n = u64();
+    if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
+      throw BinioError("binio: sequence count exceeds input");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  /// Throws unless the input was consumed exactly — trailing bytes mean the
+  /// buffer is not what the writer produced.
+  void expect_end() const {
+    if (pos_ != data_.size()) throw BinioError("binio: trailing bytes after payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (n > remaining()) throw BinioError("binio: truncated input");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pcf

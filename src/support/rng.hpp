@@ -105,6 +105,17 @@ class Rng {
   /// Poisson node clocks.
   [[nodiscard]] double exponential(double lambda) noexcept;
 
+  /// The four xoshiro256** state words — exposed so checkpoints can freeze
+  /// and resume a stream mid-sequence (sim/checkpoint.cpp).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept { return state_; }
+
+  /// Restores a stream captured by state(). An all-zero state is the one
+  /// fixed point xoshiro256** can never leave, so it is rejected.
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    PCF_ASSERT(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0);
+    state_ = state;
+  }
+
   /// Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::span<T> values) noexcept {

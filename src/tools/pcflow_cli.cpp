@@ -23,14 +23,22 @@
 // (determinism, RNG-stream and reducer-protocol discipline):
 //
 //   pcflow lint --root=. --list-rules
+// The `checkpoint` subcommand saves, resumes and verifies engine state blobs
+// (DESIGN.md §8):
+//
+//   pcflow checkpoint --action=save --at=100 --file=ck.bin [scenario flags]
+//   pcflow checkpoint --action=resume --file=ck.bin --rounds=50 [scenario flags]
+//   pcflow checkpoint --action=verify --file=ck.bin --rounds=50 [scenario flags]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "bench/bench.hpp"
 #include "bench/chaos.hpp"
 #include "core/reducer.hpp"
 #include "net/topology.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/engine_sync.hpp"
 #include "sim/fault_spec.hpp"
 #include "sim/reduce.hpp"
@@ -110,32 +118,38 @@ int run_chaos_cli(int argc, const char* const* argv) {
     PCF_CHECK_MSG(file.good(), "chaos: write to " << out << " failed");
     std::size_t survived = 0;
     for (const auto& c : report.cells) survived += c.survived;
-    std::printf("pcflow chaos: %zu cells (%zu survived all trials) -> %s\n", report.cells.size(),
-                survived, out.c_str());
+    std::size_t bitwise = 0, restore_trials = 0;
+    for (const auto& c : report.restore_cells) {
+      bitwise += c.fingerprint_matches;
+      restore_trials += c.cell.trials;
+    }
+    std::printf(
+        "pcflow chaos: %zu cells (%zu survived all trials), %zu restore cells "
+        "(%zu/%zu bitwise restores) -> %s\n",
+        report.cells.size(), survived, report.restore_cells.size(), bitwise, restore_trials,
+        out.c_str());
   }
   return 0;
 }
 
-int run_cli(int argc, const char* const* argv) {
-  if (argc > 1 && std::strcmp(argv[1], "bench") == 0) {
-    return run_bench_cli(argc - 1, argv + 1);
-  }
-  if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
-    return run_chaos_cli(argc - 1, argv + 1);
-  }
-  if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
-    return lint::run_cli(argc - 1, argv + 1);
-  }
-  CliFlags flags;
+/// Everything `pcflow` and `pcflow checkpoint` need to construct an engine
+/// from the shared scenario flags. Construction is a pure function of the
+/// flags, so two processes given the same flags build identical engines —
+/// that is what lets a checkpoint saved by one invocation restore in another.
+struct Scenario {
+  net::Topology topology;
+  sim::SyncEngineConfig config;
+  std::vector<core::Mass> masses;
+  core::Aggregate aggregate = core::Aggregate::kAverage;
+};
+
+void define_scenario_flags(CliFlags& flags) {
   flags.define("topology", std::string("hypercube:6"),
                "bus:N ring:N grid:RxC torus2d:RxC torus3d:L hypercube:D complete:N star:N "
                "tree:N regular:N:D er:N:P");
   flags.define("algorithm", std::string("pcf"), "ps | pf | pcf | fu");
   flags.define("aggregate", std::string("avg"), "avg | sum");
   flags.define("variant", std::string("robust"), "PCF bookkeeping: fast | robust");
-  flags.define("rounds", std::int64_t{0}, "run exactly this many rounds (0 = run to --epsilon)");
-  flags.define("epsilon", 1e-12, "target accuracy when --rounds is 0");
-  flags.define("max-rounds", std::int64_t{100000}, "round cap for --epsilon runs");
   flags.define("loss", 0.0, "message loss probability");
   flags.define("flip", 0.0, "per-message bit flip probability");
   flags.define("detection-delay", 0.0, "failure detector delay in rounds");
@@ -158,26 +172,25 @@ int run_cli(int argc, const char* const* argv) {
   flags.define("shards", std::int64_t{1},
                "arena engine only: shard the round loop over N threads "
                "(0 = hardware concurrency; output is identical for every value)");
-  flags.define("trace-every", std::int64_t{0}, "print an error trace row every N rounds");
-  flags.define("csv", std::string{}, "write the trace as CSV to this path");
-  flags.define("estimates", false, "print every node's final estimate");
-  if (!flags.parse(argc, argv)) return 0;
+}
 
+Scenario build_scenario(const CliFlags& flags) {
   Rng topo_rng(static_cast<std::uint64_t>(flags.get_int("seed")) ^ 0x7070ULL);
-  const auto topology = net::Topology::parse(flags.get_string("topology"), topo_rng);
+  Scenario s{.topology = net::Topology::parse(flags.get_string("topology"), topo_rng),
+             .config = {},
+             .masses = {}};
 
-  sim::SyncEngineConfig config;
-  config.algorithm = core::parse_algorithm(flags.get_string("algorithm"));
+  s.config.algorithm = core::parse_algorithm(flags.get_string("algorithm"));
   const std::string& variant = flags.get_string("variant");
   PCF_CHECK_MSG(variant == "fast" || variant == "robust", "--variant wants fast|robust");
-  config.reducer.pcf_variant =
+  s.config.reducer.pcf_variant =
       variant == "fast" ? core::PcfVariant::kFast : core::PcfVariant::kRobust;
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  s.config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   const std::string& engine_name = flags.get_string("engine");
   PCF_CHECK_MSG(engine_name == "legacy" || engine_name == "arena", "--engine wants legacy|arena");
-  config.mode = engine_name == "arena" ? sim::EngineMode::kArena : sim::EngineMode::kLegacy;
-  config.shards = static_cast<std::size_t>(flags.get_int("shards"));
-  PCF_CHECK_MSG(config.mode == sim::EngineMode::kArena || config.shards == 1,
+  s.config.mode = engine_name == "arena" ? sim::EngineMode::kArena : sim::EngineMode::kLegacy;
+  s.config.shards = static_cast<std::size_t>(flags.get_int("shards"));
+  PCF_CHECK_MSG(s.config.mode == sim::EngineMode::kArena || s.config.shards == 1,
                 "--shards needs --engine=arena");
   sim::FaultSpecInput fault_spec;
   fault_spec.link_failures = flags.get_string("link-fail");
@@ -186,27 +199,133 @@ int run_cli(int argc, const char* const* argv) {
   fault_spec.link_heals = flags.get_string("link-heal");
   fault_spec.node_rejoins = flags.get_string("rejoin");
   fault_spec.false_detects = flags.get_string("false-detect");
-  config.faults = sim::parse_fault_spec(fault_spec, topology.size());
-  config.faults.message_loss_prob = flags.get_double("loss");
-  config.faults.bit_flip_prob = flags.get_double("flip");
-  config.faults.detection_delay = flags.get_double("detection-delay");
-  config.faults.duplicate_prob = flags.get_double("duplicate");
-  config.faults.reorder_prob = flags.get_double("reorder");
-  config.faults.reorder_jitter = flags.get_double("reorder-jitter");
-  config.faults.churn_fail_prob = flags.get_double("churn-fail");
-  config.faults.churn_heal_rate = flags.get_double("churn-heal");
+  s.config.faults = sim::parse_fault_spec(fault_spec, s.topology.size());
+  s.config.faults.message_loss_prob = flags.get_double("loss");
+  s.config.faults.bit_flip_prob = flags.get_double("flip");
+  s.config.faults.detection_delay = flags.get_double("detection-delay");
+  s.config.faults.duplicate_prob = flags.get_double("duplicate");
+  s.config.faults.reorder_prob = flags.get_double("reorder");
+  s.config.faults.reorder_jitter = flags.get_double("reorder-jitter");
+  s.config.faults.churn_fail_prob = flags.get_double("churn-fail");
+  s.config.faults.churn_heal_rate = flags.get_double("churn-heal");
 
   const std::string& aggregate_name = flags.get_string("aggregate");
   PCF_CHECK_MSG(aggregate_name == "avg" || aggregate_name == "sum", "--aggregate wants avg|sum");
-  const auto aggregate =
-      aggregate_name == "sum" ? core::Aggregate::kSum : core::Aggregate::kAverage;
+  s.aggregate = aggregate_name == "sum" ? core::Aggregate::kSum : core::Aggregate::kAverage;
 
-  Rng data_rng(config.seed ^ 0xda7aULL);
-  std::vector<double> values(topology.size());
+  Rng data_rng(s.config.seed ^ 0xda7aULL);
+  std::vector<double> values(s.topology.size());
   for (auto& v : values) v = data_rng.uniform();
-  const auto masses = sim::masses_from_values(values, aggregate);
+  s.masses = sim::masses_from_values(values, s.aggregate);
+  return s;
+}
 
-  sim::SyncEngine engine(topology, masses, config);
+int run_checkpoint_cli(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.define("action", std::string("save"),
+               "save (run to --at, write blob) | resume (restore, run --rounds) | "
+               "verify (restored continuation must fingerprint-match the uninterrupted run)");
+  flags.define("at", std::int64_t{100}, "save: round to checkpoint at");
+  flags.define("rounds", std::int64_t{50}, "resume/verify: rounds to continue after restore");
+  flags.define("file", std::string("pcflow.ckpt"), "checkpoint blob path");
+  flags.define("mode", std::string("full"), "full (wire-inclusive) | light (state-only)");
+  define_scenario_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::string& mode_name = flags.get_string("mode");
+  PCF_CHECK_MSG(mode_name == "full" || mode_name == "light", "--mode wants full|light");
+  const auto mode =
+      mode_name == "full" ? sim::CheckpointMode::kFull : sim::CheckpointMode::kLightweight;
+  const std::string& path = flags.get_string("file");
+  const std::string& action = flags.get_string("action");
+  const Scenario s = build_scenario(flags);
+
+  if (action == "save") {
+    sim::SyncEngine engine(s.topology, s.masses, s.config);
+    engine.run(static_cast<std::size_t>(flags.get_int("at")));
+    const std::string blob = engine.save_checkpoint(mode);
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    PCF_CHECK_MSG(file.good(), "checkpoint: cannot open " << path << " for writing");
+    file.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    PCF_CHECK_MSG(file.good(), "checkpoint: write to " << path << " failed");
+    std::printf("pcflow checkpoint: saved round %zu (%s, %zu bytes) -> %s\n", engine.round(),
+                std::string(to_string(mode)).c_str(), blob.size(), path.c_str());
+    std::printf("fingerprint: %016llx\n",
+                static_cast<unsigned long long>(engine.state_fingerprint()));
+    return 0;
+  }
+
+  std::ifstream file(path, std::ios::binary);
+  PCF_CHECK_MSG(file.good(), "checkpoint: cannot open " << path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string blob = buffer.str();
+  const sim::CheckpointInfo info = sim::peek_checkpoint(blob);
+  const auto resume_rounds = static_cast<std::size_t>(flags.get_int("rounds"));
+
+  if (action == "resume") {
+    sim::SyncEngine engine(s.topology, s.masses, s.config);
+    engine.restore(blob);
+    std::printf("pcflow checkpoint: restored round %zu (%s blob) from %s\n", engine.round(),
+                std::string(to_string(info.mode)).c_str(), path.c_str());
+    engine.run(resume_rounds);
+    std::printf("round %zu: max error %.3e, fingerprint %016llx\n", engine.round(),
+                engine.max_error(), static_cast<unsigned long long>(engine.state_fingerprint()));
+    return 0;
+  }
+
+  PCF_CHECK_MSG(action == "verify", "--action wants save|resume|verify");
+  // The uninterrupted reference run covers the checkpoint's own round span
+  // plus the continuation; the restored engine only replays the continuation.
+  // Fingerprints must agree at the restore point AND after the continuation.
+  sim::SyncEngine reference(s.topology, s.masses, s.config);
+  reference.run(static_cast<std::size_t>(info.position));
+  sim::SyncEngine restored(s.topology, s.masses, s.config);
+  restored.restore(blob);
+  const bool match_at_restore = reference.state_fingerprint() == restored.state_fingerprint();
+  reference.run(resume_rounds);
+  restored.run(resume_rounds);
+  const bool match_after = reference.state_fingerprint() == restored.state_fingerprint();
+  std::printf("restore point (round %zu): %s\n", static_cast<std::size_t>(info.position),
+              match_at_restore ? "fingerprints match" : "FINGERPRINT MISMATCH");
+  std::printf("after %zu more rounds:     %s\n", resume_rounds,
+              match_after ? "fingerprints match" : "FINGERPRINT MISMATCH");
+  if (!(match_at_restore && match_after)) {
+    std::fprintf(stderr, "pcflow checkpoint: restored run DIVERGED from the uninterrupted run\n");
+    return 1;
+  }
+  std::printf("pcflow checkpoint: restored continuation is bitwise-identical\n");
+  return 0;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  if (argc > 1 && std::strcmp(argv[1], "bench") == 0) {
+    return run_bench_cli(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
+    return run_chaos_cli(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "checkpoint") == 0) {
+    return run_checkpoint_cli(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
+    return lint::run_cli(argc - 1, argv + 1);
+  }
+  CliFlags flags;
+  flags.define("rounds", std::int64_t{0}, "run exactly this many rounds (0 = run to --epsilon)");
+  flags.define("epsilon", 1e-12, "target accuracy when --rounds is 0");
+  flags.define("max-rounds", std::int64_t{100000}, "round cap for --epsilon runs");
+  flags.define("trace-every", std::int64_t{0}, "print an error trace row every N rounds");
+  flags.define("csv", std::string{}, "write the trace as CSV to this path");
+  flags.define("estimates", false, "print every node's final estimate");
+  define_scenario_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+
+  const Scenario scenario = build_scenario(flags);
+  const auto& topology = scenario.topology;
+  const auto aggregate = scenario.aggregate;
+
+  sim::SyncEngine engine(topology, scenario.masses, scenario.config);
   std::printf("pcflow: %s on %s (%zu nodes, %zu links), %s aggregate, seed %lld\n",
               std::string(engine.node(0).name()).c_str(), topology.name().c_str(),
               topology.size(), topology.edge_count(), std::string(to_string(aggregate)).c_str(),
@@ -271,6 +390,9 @@ int main(int argc, char** argv) {
   try {
     return pcf::run_cli(argc, argv);
   } catch (const pcf::ContractViolation& e) {
+    std::fprintf(stderr, "pcflow: %s\n", e.what());
+    return 2;
+  } catch (const pcf::sim::CheckpointError& e) {
     std::fprintf(stderr, "pcflow: %s\n", e.what());
     return 2;
   }

@@ -39,6 +39,51 @@ TEST(MakeChaosCells, FullGridCoversAllAlgorithmsAndRampsIntensity) {
   EXPECT_GT(cells.size(), make_chaos_cells(true).size());
 }
 
+TEST(MakeChaosRestoreCells, GridsAreWellFormed) {
+  for (const bool fast : {true, false}) {
+    const auto cells = make_chaos_restore_cells(fast);
+    ASSERT_FALSE(cells.empty());
+    std::set<std::string> names, engines;
+    for (const auto& c : cells) {
+      EXPECT_TRUE(names.insert(c.name).second) << "duplicate cell " << c.name;
+      engines.insert(c.engine);
+      EXPECT_GE(c.trials, 1u);
+      EXPECT_GT(c.checkpoint_every, 0u);
+      EXPECT_GT(c.kill_round, c.checkpoint_every);
+      // A kill on a checkpoint boundary would make the replay segment empty —
+      // the race must always pay a real replay.
+      EXPECT_NE(c.kill_round % c.checkpoint_every, 0u) << c.name;
+      EXPECT_GT(c.max_rounds, c.kill_round);
+      EXPECT_GT(c.tol, 0.0);
+    }
+    // Both state layouts must be raced — the blobs differ, the results must not.
+    EXPECT_EQ(engines, (std::set<std::string>{"legacy", "arena"}));
+  }
+}
+
+TEST(RunChaos, RestoreFamilyReplaysBitwiseAndConverges) {
+  ChaosOptions options;
+  options.fast = true;
+  options.seed = 1;
+  const auto report = run_chaos(options);
+  ASSERT_EQ(report.restore_cells.size(), make_chaos_restore_cells(true).size());
+  for (const auto& r : report.restore_cells) {
+    // The tentpole acceptance bar: every restored replay reproduces the
+    // pre-kill fingerprint bitwise, on both state layouts.
+    EXPECT_EQ(r.fingerprint_matches, r.cell.trials) << r.cell.name;
+    EXPECT_EQ(r.restore_converged, r.cell.trials) << r.cell.name;
+    EXPECT_EQ(r.intrinsic_converged, r.cell.trials) << r.cell.name;
+    EXPECT_GT(r.checkpoint_bytes_full, 0u) << r.cell.name;
+    EXPECT_GT(r.checkpoint_bytes_light, 0u) << r.cell.name;
+    // Sync blobs: the wire is empty at round boundaries, so light ≤ full.
+    EXPECT_LE(r.checkpoint_bytes_light, r.checkpoint_bytes_full) << r.cell.name;
+    EXPECT_GT(r.restore_rounds.p50, 0.0) << r.cell.name;
+    EXPECT_GT(r.intrinsic_rounds.p50, 0.0) << r.cell.name;
+    EXPECT_LE(r.restore_error.max, r.cell.tol) << r.cell.name;
+    EXPECT_LE(r.intrinsic_error.max, r.cell.tol) << r.cell.name;
+  }
+}
+
 TEST(RunChaos, SingleCellTrialRecoversConsensus) {
   // One small cell end to end: after the chaos phase quiets down, the
   // estimates must re-agree within the recovery budget in every trial.
@@ -79,9 +124,13 @@ TEST(ChaosReportToJson, EmitsVersionedSchema) {
   const auto report = run_chaos(options);
   const auto json = chaos_report_to_json(report);
   EXPECT_NE(json.find("\"schema\": \"pcflow-chaos\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"mode\": \"fast\""), std::string::npos);
   EXPECT_NE(json.find("\"cells\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"restore_cells\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint_matches\": "), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint_bytes_full\": "), std::string::npos);
+  EXPECT_NE(json.find("\"intrinsic_rounds\": {"), std::string::npos);
   EXPECT_NE(json.find("\"recovery_rounds\": {"), std::string::npos);
   EXPECT_NE(json.find("\"final_error\": {"), std::string::npos);
   EXPECT_NE(json.find("\"survived\": "), std::string::npos);

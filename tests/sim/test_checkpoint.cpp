@@ -1,0 +1,299 @@
+// Property wall for the checkpoint/restore layer (DESIGN.md §8).
+//
+// The central claim under test: restoring a checkpoint into a freshly
+// constructed engine and replaying yields per-round state fingerprints
+// bitwise-identical to the uninterrupted run — for every algorithm, both
+// state layouts (legacy reducer objects and SoA arenas), both engines, and a
+// checkpoint taken at EVERY round of a faulted lifecycle run. Plus the
+// defensive side: truncated, corrupted, version-skewed and mismatched blobs
+// are rejected with CheckpointError, and the on-disk format is pinned with a
+// golden hash so accidental layout drift fails here instead of in a user's
+// saved checkpoint.
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine_async.hpp"
+#include "sim/engine_sync.hpp"
+#include "sim/reduce.hpp"
+#include "test_util.hpp"
+
+namespace pcf::sim {
+namespace {
+
+using core::Aggregate;
+using core::Algorithm;
+
+constexpr Algorithm kAllAlgorithms[] = {Algorithm::kPushSum, Algorithm::kPushFlow,
+                                        Algorithm::kPushCancelFlow, Algorithm::kFlowUpdating};
+
+/// A faulted lifecycle: a cut, a crash, a false positive, a live data update,
+/// the rejoin and the heal — every fault-progress cursor the checkpoint
+/// serializes moves during the run — plus probabilistic loss/duplication so
+/// the RNG stream positions matter too.
+FaultPlan lifecycle_plan() {
+  FaultPlan plan;
+  plan.link_failures.push_back({5.0, 0, 1});
+  plan.node_crashes.push_back({8.0, 2});
+  plan.false_detects.push_back({10.0, 4, 5, 4.0});
+  plan.data_updates.push_back({12.0, 6, core::Mass::scalar(0.25, 0.0)});
+  plan.node_rejoins.push_back({16.0, 2});
+  plan.link_heals.push_back({18.0, 0, 1});
+  plan.message_loss_prob = 0.05;
+  plan.duplicate_prob = 0.1;
+  return plan;
+}
+
+SyncEngine make_sync(const net::Topology& t, Algorithm algorithm, EngineMode mode,
+                     FaultPlan faults, std::uint64_t seed = 3) {
+  const auto values = test::random_values(t.size(), seed ^ 0xabcdef);
+  const auto masses = masses_from_values(values, Aggregate::kAverage);
+  SyncEngineConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.faults = std::move(faults);
+  cfg.seed = seed;
+  cfg.mode = mode;
+  cfg.invariants.enabled = true;
+  return SyncEngine(t, masses, cfg);
+}
+
+AsyncEngine make_async(const net::Topology& t, Algorithm algorithm, FaultPlan faults,
+                       std::uint64_t seed = 3) {
+  const auto values = test::random_values(t.size(), seed ^ 0xabcdef);
+  const auto masses = masses_from_values(values, Aggregate::kAverage);
+  AsyncEngineConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.faults = std::move(faults);
+  cfg.seed = seed;
+  cfg.invariants.enabled = true;
+  return AsyncEngine(t, masses, cfg);
+}
+
+// ------------------------------------------------------------ property wall
+
+TEST(CheckpointSync, EveryRoundRoundTripsBitwiseOnBothLayouts) {
+  const auto t = net::Topology::ring(12);
+  constexpr std::size_t kRounds = 24;
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const EngineMode mode : {EngineMode::kLegacy, EngineMode::kArena}) {
+      auto reference = make_sync(t, algorithm, mode, lifecycle_plan());
+      std::vector<std::string> blobs{reference.save_checkpoint()};
+      std::vector<std::uint64_t> fingerprints{reference.state_fingerprint()};
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        reference.step();
+        blobs.push_back(reference.save_checkpoint());
+        fingerprints.push_back(reference.state_fingerprint());
+      }
+      for (std::size_t c = 0; c <= kRounds; ++c) {
+        auto restored = make_sync(t, algorithm, mode, lifecycle_plan());
+        restored.restore(blobs[c]);
+        ASSERT_EQ(restored.round(), c);
+        ASSERT_EQ(restored.state_fingerprint(), fingerprints[c])
+            << core::to_string(algorithm) << " restore at round " << c;
+        for (std::size_t r = c; r < kRounds; ++r) {
+          restored.step();
+          ASSERT_EQ(restored.state_fingerprint(), fingerprints[r + 1])
+              << core::to_string(algorithm) << " checkpointed at " << c << ", diverged at round "
+              << r + 1;
+        }
+      }
+    }
+  }
+}
+
+TEST(CheckpointSync, LegacyAndArenaBlobsAreDistinctButBothRestore) {
+  // The two layouts serialize differently (dim-prefixed masses vs raw stride
+  // rows), so the header pins the layout and a cross-layout restore refuses.
+  const auto t = net::Topology::ring(12);
+  auto legacy = make_sync(t, Algorithm::kPushCancelFlow, EngineMode::kLegacy, lifecycle_plan());
+  auto arena = make_sync(t, Algorithm::kPushCancelFlow, EngineMode::kArena, lifecycle_plan());
+  legacy.run(10);
+  arena.run(10);
+  // Same protocol state regardless of layout...
+  EXPECT_EQ(legacy.state_fingerprint(), arena.state_fingerprint());
+  // ...but the blobs are layout-specific and refuse to cross-restore.
+  EXPECT_THROW(legacy.restore(arena.save_checkpoint()), CheckpointError);
+  EXPECT_THROW(arena.restore(legacy.save_checkpoint()), CheckpointError);
+}
+
+TEST(CheckpointSync, LightweightEqualsFullAtRoundBoundaries) {
+  // The synchronous wire is empty between rounds, so the two modes differ
+  // only in the header's mode byte and restore identically.
+  auto engine =
+      make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow, EngineMode::kLegacy,
+                lifecycle_plan());
+  engine.run(10);
+  const std::string full = engine.save_checkpoint(CheckpointMode::kFull);
+  const std::string light = engine.save_checkpoint(CheckpointMode::kLightweight);
+  EXPECT_EQ(full.size(), light.size());
+  auto a = make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow, EngineMode::kLegacy,
+                     lifecycle_plan());
+  auto b = make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow, EngineMode::kLegacy,
+                     lifecycle_plan());
+  a.restore(full);
+  b.restore(light);
+  a.run(15);
+  b.run(15);
+  EXPECT_EQ(a.state_fingerprint(), b.state_fingerprint());
+}
+
+TEST(CheckpointAsync, FullRestoreContinuesBitwise) {
+  const auto t = net::Topology::ring(10);
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const double at : {0.0, 3.7, 6.0}) {
+      auto reference = make_async(t, algorithm, lifecycle_plan());
+      reference.run_until(at);
+      const std::string blob = reference.save_checkpoint(CheckpointMode::kFull);
+      auto restored = make_async(t, algorithm, lifecycle_plan());
+      restored.restore(blob);
+      ASSERT_EQ(restored.state_fingerprint(), reference.state_fingerprint())
+          << core::to_string(algorithm) << " at t=" << at;
+      // The full blob carries the event heap verbatim (in-flight packets
+      // included), so the continuation is bitwise-identical.
+      reference.run_until(14.0);
+      restored.run_until(14.0);
+      ASSERT_EQ(restored.state_fingerprint(), reference.state_fingerprint())
+          << core::to_string(algorithm) << " diverged after restore at t=" << at;
+      EXPECT_EQ(restored.estimates(), reference.estimates());
+    }
+  }
+}
+
+TEST(CheckpointAsync, LightweightDropsInFlightAndFlowAlgorithmsSelfHeal) {
+  // The state-only blob loses the queued deliveries: it must be strictly
+  // smaller mid-flight, and the flow algorithms (absolute mirrors) must still
+  // reconverge to the unchanged oracle target after the lossy restore.
+  const auto t = net::Topology::ring(10);
+  for (const Algorithm algorithm :
+       {Algorithm::kPushFlow, Algorithm::kPushCancelFlow, Algorithm::kFlowUpdating}) {
+    auto engine = make_async(t, algorithm, FaultPlan{});
+    engine.run_until(6.0);
+    const std::string full = engine.save_checkpoint(CheckpointMode::kFull);
+    const std::string light = engine.save_checkpoint(CheckpointMode::kLightweight);
+    EXPECT_LT(light.size(), full.size()) << core::to_string(algorithm);
+    auto restored = make_async(t, algorithm, FaultPlan{});
+    restored.restore(light);
+    EXPECT_TRUE(restored.run_until_error(1e-9, /*deadline=*/400.0))
+        << core::to_string(algorithm) << " did not re-converge after a lightweight restore";
+  }
+}
+
+// ----------------------------------------------------------------- rejection
+
+TEST(CheckpointReject, TruncatedAndTrailingBytes) {
+  auto engine = make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow,
+                          EngineMode::kLegacy, lifecycle_plan());
+  engine.run(6);
+  const std::string blob = engine.save_checkpoint();
+  for (const double frac : {0.0, 0.1, 0.5, 0.95}) {
+    auto fresh = make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow,
+                           EngineMode::kLegacy, lifecycle_plan());
+    const auto cut = static_cast<std::size_t>(static_cast<double>(blob.size()) * frac);
+    EXPECT_THROW(fresh.restore(std::string_view(blob).substr(0, cut)), CheckpointError)
+        << "accepted a blob truncated to " << cut << " bytes";
+  }
+  auto fresh = make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow, EngineMode::kLegacy,
+                         lifecycle_plan());
+  EXPECT_THROW(fresh.restore(blob + "x"), CheckpointError);
+}
+
+TEST(CheckpointReject, BadMagicVersionSkewAndCorruptHash) {
+  auto engine = make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow,
+                          EngineMode::kLegacy, lifecycle_plan());
+  engine.run(6);
+  const std::string blob = engine.save_checkpoint();
+  auto fresh = make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow, EngineMode::kLegacy,
+                         lifecycle_plan());
+
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(fresh.restore(bad_magic), CheckpointError);
+
+  // Header layout: magic[8], u32 version at offset 8.
+  std::string skewed = blob;
+  skewed[8] = static_cast<char>(kCheckpointVersion + 1);
+  EXPECT_THROW(fresh.restore(skewed), CheckpointError);
+
+  // Compat hash at offset 40 (magic 8 + version 4 + four u8 tags + seed 8 +
+  // nodes 8 + dim 8) — a flipped bit there must read as "wrong engine".
+  std::string corrupt = blob;
+  corrupt[40] = static_cast<char>(corrupt[40] ^ 0x01);
+  EXPECT_THROW(fresh.restore(corrupt), CheckpointError);
+}
+
+TEST(CheckpointReject, MismatchedEngineAlgorithmSeedTopologyAndKind) {
+  const auto t = net::Topology::ring(12);
+  auto engine = make_sync(t, Algorithm::kPushCancelFlow, EngineMode::kLegacy, lifecycle_plan());
+  engine.run(6);
+  const std::string blob = engine.save_checkpoint();
+
+  auto wrong_algorithm = make_sync(t, Algorithm::kPushFlow, EngineMode::kLegacy, lifecycle_plan());
+  EXPECT_THROW(wrong_algorithm.restore(blob), CheckpointError);
+
+  auto wrong_seed =
+      make_sync(t, Algorithm::kPushCancelFlow, EngineMode::kLegacy, lifecycle_plan(), 99);
+  EXPECT_THROW(wrong_seed.restore(blob), CheckpointError);
+
+  auto wrong_topology = make_sync(net::Topology::ring(13), Algorithm::kPushCancelFlow,
+                                  EngineMode::kLegacy, lifecycle_plan());
+  EXPECT_THROW(wrong_topology.restore(blob), CheckpointError);
+
+  // A faultless engine differs in the fault schedule — the compat hash covers
+  // the scheduled events, so the restore refuses.
+  auto wrong_faults = make_sync(t, Algorithm::kPushCancelFlow, EngineMode::kLegacy, FaultPlan{});
+  EXPECT_THROW(wrong_faults.restore(blob), CheckpointError);
+
+  // Sync blob into an async engine (and vice versa): the kind byte refuses.
+  auto async_engine = make_async(net::Topology::ring(12), Algorithm::kPushCancelFlow, FaultPlan{});
+  EXPECT_THROW(async_engine.restore(blob), CheckpointError);
+  const std::string async_blob = async_engine.save_checkpoint();
+  auto sync_fresh = make_sync(t, Algorithm::kPushCancelFlow, EngineMode::kLegacy, lifecycle_plan());
+  EXPECT_THROW(sync_fresh.restore(async_blob), CheckpointError);
+}
+
+// ------------------------------------------------------------------- header
+
+TEST(CheckpointPeek, ReportsHeaderFieldsWithoutAnEngine) {
+  auto engine = make_sync(net::Topology::ring(12), Algorithm::kPushCancelFlow, EngineMode::kArena,
+                          lifecycle_plan(), 7);
+  engine.run(9);
+  const CheckpointInfo info = peek_checkpoint(engine.save_checkpoint(CheckpointMode::kFull));
+  EXPECT_EQ(info.version, kCheckpointVersion);
+  EXPECT_EQ(info.engine_kind, 1);  // sync
+  EXPECT_EQ(info.mode, CheckpointMode::kFull);
+  EXPECT_EQ(info.algorithm, static_cast<std::uint8_t>(Algorithm::kPushCancelFlow));
+  EXPECT_EQ(info.engine_mode, 1);  // arena
+  EXPECT_EQ(info.seed, 7u);
+  EXPECT_EQ(info.nodes, 12u);
+  EXPECT_EQ(info.dim, 1u);
+  EXPECT_EQ(info.position, 9.0);
+  EXPECT_THROW(peek_checkpoint("not a checkpoint"), CheckpointError);
+}
+
+// ------------------------------------------------------------- golden format
+
+TEST(CheckpointGolden, FormatHashIsPinned) {
+  // FNV-1a over a canonical blob (ring:8, PCF, legacy, seed 7, 10 faulted
+  // rounds). Integers are written little-endian byte by byte and doubles as
+  // IEEE-754 bits, so this hash is platform-independent. If it changes, the
+  // on-disk format drifted: bump kCheckpointVersion (old blobs must be
+  // rejected, not misread) and re-pin.
+  auto engine =
+      make_sync(net::Topology::ring(8), Algorithm::kPushCancelFlow, EngineMode::kLegacy,
+                lifecycle_plan(), 7);
+  engine.run(10);
+  const std::string blob = engine.save_checkpoint(CheckpointMode::kFull);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : blob) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  EXPECT_EQ(h, 0xf4fff9a01cdd0cacULL) << "checkpoint format drifted (blob is " << blob.size()
+                       << " bytes) — bump kCheckpointVersion and re-pin this hash";
+}
+
+}  // namespace
+}  // namespace pcf::sim

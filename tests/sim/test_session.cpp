@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "test_util.hpp"
 
 namespace pcf::sim {
@@ -151,6 +154,116 @@ TEST(ReductionSession, AverageAggregateSessions) {
   for (double v : values) expected += v;
   expected /= 8.0;
   EXPECT_NEAR(reply.estimate(4), expected, 1e-9);
+}
+
+TEST(ReductionSession, ForwardsEngineModeShardsAndInvariants) {
+  // Regression: the session once forwarded only algorithm/reducer/faults/seed
+  // to the engine, silently dropping mode and shards — every session ran
+  // legacy single-shard no matter what the caller asked for.
+  const auto t = net::Topology::ring(8);
+  const auto values = test::random_values(t.size(), 23);
+  SessionOptions legacy_options;
+  legacy_options.seed = 23;
+  legacy_options.target_accuracy = 1e-10;
+  legacy_options.invariants.enabled = true;
+  SessionOptions arena_options = legacy_options;
+  arena_options.mode = EngineMode::kArena;
+  arena_options.shards = 2;
+  ReductionSession legacy(t, scalar_inputs(values), legacy_options);
+  ReductionSession arena(t, scalar_inputs(values), arena_options);
+  EXPECT_EQ(legacy.engine().fleet(), nullptr);
+  ASSERT_NE(arena.engine().fleet(), nullptr) << "options.mode was not forwarded";
+  EXPECT_NE(legacy.engine().invariants(), nullptr) << "options.invariants was not forwarded";
+  const auto a = legacy.query(scalar_inputs(values));
+  const auto b = arena.query(scalar_inputs(values));
+  // The arena layout's contract is bitwise-identical output, so the two
+  // sessions must agree exactly — which also proves the arena engine really
+  // ran (a half-forwarded config would still pass the fleet() probe above).
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.estimates, b.estimates);
+  EXPECT_EQ(legacy.engine().state_fingerprint(), arena.engine().state_fingerprint());
+}
+
+TEST(ReductionSession, BuffersUpdatesToDeadNodesAndReappliesOnRejoin) {
+  // Regression: query() used to silently discard updates addressed to dead
+  // nodes AND leave current_[i] stale, so the next query's delta shifted the
+  // session's target. Now the desired value is buffered and the accumulated
+  // drift is re-applied when the node rejoins.
+  const auto t = net::Topology::hypercube(4);
+  auto values = test::random_values(t.size(), 21);
+  for (auto& v : values) v += 1.0;
+  SessionOptions options;
+  options.algorithm = core::Algorithm::kPushFlow;  // exact conservation on crash
+  options.seed = 21;
+  options.target_accuracy = 1e-10;
+  options.max_rounds_per_query = 400;
+  // The rejoin is scheduled far past the rounds any query below can consume
+  // (the two queries measure ~84 + ~143 rounds), so the dead-node window is
+  // guaranteed to span the buffered-update query.
+  options.faults.node_crashes.push_back({5.0, 2});
+  options.faults.node_rejoins.push_back({600.0, 2});
+  ReductionSession session(t, scalar_inputs(values), options);
+  ASSERT_TRUE(session.query(scalar_inputs(values)).reached_target);
+  ASSERT_FALSE(session.engine().node_alive(2));  // the crash fired mid-query
+
+  values[2] += 0.5;   // node 2 is dead: buffered, reported as dropped
+  values[7] += 0.25;  // node 7 is alive: applied immediately
+  const auto dropped_reply = session.query(scalar_inputs(values));
+  EXPECT_EQ(dropped_reply.dropped_updates, 1u);
+  EXPECT_EQ(dropped_reply.reapplied_updates, 0u);
+  EXPECT_TRUE(std::isnan(dropped_reply.estimate(2)));
+
+  // Run past the scheduled rejoin; count every re-applied update on the way.
+  std::size_t reapplied = 0;
+  while (session.total_rounds() < 610) reapplied += session.refresh().reapplied_updates;
+  ASSERT_TRUE(session.engine().node_alive(2));
+  const auto final_reply = session.refresh();
+  reapplied += final_reply.reapplied_updates;
+  EXPECT_EQ(reapplied, 1u);  // exactly once, despite many refreshes
+  ASSERT_TRUE(final_reply.reached_target);
+  double expected = 0.0;
+  for (double v : values) expected += v;
+  // The buffered +0.5 survived the crash: the session converges to the sum
+  // of the CURRENT inputs, dead-node update included.
+  EXPECT_NEAR(final_reply.estimate(2), expected, 1e-7 * expected);
+}
+
+TEST(ReductionSession, CheckpointRestoresWarmSessionAcrossRestart) {
+  const auto t = net::Topology::hypercube(4);
+  auto values = test::random_values(t.size(), 29);
+  for (auto& v : values) v += 1.0;
+  SessionOptions options;
+  options.seed = 29;
+  options.target_accuracy = 1e-10;
+  ReductionSession live(t, scalar_inputs(values), options);
+  ASSERT_TRUE(live.query(scalar_inputs(values)).reached_target);
+  values[3] += 0.125;
+  ASSERT_TRUE(live.query(scalar_inputs(values)).reached_target);
+
+  const std::string blob = live.save_checkpoint();
+  // "Restart": a fresh process reconstructs the session from the ORIGINAL
+  // construction inputs and options, then restores the blob.
+  auto original = test::random_values(t.size(), 29);
+  for (auto& v : original) v += 1.0;
+  ReductionSession revived(t, scalar_inputs(original), options);
+  revived.restore(blob);
+  EXPECT_EQ(revived.queries(), live.queries());
+  EXPECT_EQ(revived.total_rounds(), live.total_rounds());
+  EXPECT_EQ(revived.engine().state_fingerprint(), live.engine().state_fingerprint());
+
+  // The revived session IS the live session: the next warm query matches
+  // bitwise, round for round.
+  values[5] += 0.25;
+  const auto a = live.query(scalar_inputs(values));
+  const auto b = revived.query(scalar_inputs(values));
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.estimates, b.estimates);
+
+  // Defensive paths: truncation and a bare engine blob (no session prelude).
+  ReductionSession other(t, scalar_inputs(original), options);
+  EXPECT_THROW(other.restore(std::string_view(blob).substr(0, blob.size() / 2)),
+               CheckpointError);
+  EXPECT_THROW(other.restore(other.engine().save_checkpoint()), CheckpointError);
 }
 
 }  // namespace
