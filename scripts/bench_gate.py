@@ -3,7 +3,7 @@
 
 Compares a candidate BENCH_pcflow.json against a committed baseline:
 
-  * schema      — both documents must be pcflow-bench schema_version 2 and
+  * schema      — both documents must be pcflow-bench schema_version 3 and
                   cover the same scenario set (same names, same cell
                   parameters: algorithm/topology/engine/shards/delivery/
                   fixed_rounds/fault_profile);
@@ -32,7 +32,7 @@ import json
 import sys
 
 SCHEMA = "pcflow-bench"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 IDENTITY_KEYS = (
     "algorithm",
     "topology",

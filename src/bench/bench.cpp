@@ -176,6 +176,12 @@ std::vector<Scenario> make_suite(const std::string& name) {
     add("ps", "ring:16", "none", 2, 1500);
     add("pf", "ring:16", "none", 2, 1500);
     add("fu", "ring:16", "none", 2, 1500);
+    // Roster additions: the tree allreduce converges in O(diameter) fault-free
+    // rounds (and self-heals loss); the FU/MD hybrid matches the gossip cells.
+    add("corr", "ring:16", "none", 2, 1500);
+    add("corr", "ring:16", "loss", 2, 1500);
+    add("fumd", "ring:16", "none", 2, 1500);
+    add("fumd", "ring:16", "churn", 2, 1500);
     return suite;
   }
 
@@ -184,10 +190,16 @@ std::vector<Scenario> make_suite(const std::string& name) {
     // fault-free profile (the others would just report its known failure).
     for (const char* topo : {"ring:32", "torus2d:6x6", "hypercube:5", "regular:32:4"}) {
       add("ps", topo, "none", 4, 4000);
-      for (const char* algorithm : {"pf", "pcf", "fu"}) {
+      for (const char* algorithm : {"pf", "pcf", "fu", "fumd"}) {
         for (const char* profile : {"none", "loss", "crash", "linkfail", "churn"}) {
           add(algorithm, topo, profile, 4, 4000);
         }
+      }
+      // The tree algorithm's grid charts the paper's trade-off: exact and
+      // diameter-fast when the schedule holds (none/loss), degrading to
+      // fragment consensus under exclusions — converged_trials records it.
+      for (const char* profile : {"none", "loss", "crash", "linkfail", "churn"}) {
+        add("corr", topo, profile, 4, 4000);
       }
     }
     return suite;
@@ -202,6 +214,8 @@ std::vector<Scenario> make_suite(const std::string& name) {
     add_scale("pf", "torus2d:1000x1000", "arena", "sequential", 1, 5);
     add_scale("pcf", "torus2d:500x500", "arena", "sequential", 1, 5);
     add_scale("fu", "torus2d:500x500", "arena", "sequential", 1, 5);
+    add_scale("corr", "torus2d:500x500", "arena", "sequential", 1, 5);
+    add_scale("fumd", "torus2d:500x500", "arena", "sequential", 1, 5);
     add_scale("ps", "regular:200000:6", "arena", "sequential", 1, 10);
     add_scale("ps", "torus2d:250x250", "arena", "crossing", 0, 10);
     add_scale("pcf", "torus2d:250x250", "arena", "crossing", 0, 10);
@@ -218,6 +232,8 @@ std::vector<Scenario> make_suite(const std::string& name) {
     add_scale("pf", "torus2d:60x60", "arena", "sequential", 1, 20);
     add_scale("pcf", "torus2d:40x40", "arena", "sequential", 1, 20);
     add_scale("fu", "torus2d:40x40", "arena", "sequential", 1, 20);
+    add_scale("corr", "torus2d:40x40", "arena", "sequential", 1, 20);
+    add_scale("fumd", "torus2d:40x40", "arena", "sequential", 1, 20);
     add_scale("ps", "torus2d:40x40", "arena", "crossing", 4, 20);
     add_scale("pcf", "torus2d:40x40", "arena", "crossing", 4, 20);
     add_scale("ps", "torus2d:40x40", "legacy", "sequential", 1, 20);
@@ -281,8 +297,10 @@ std::string report_to_json(const BenchReport& report) {
   json.begin_object();
   json.field("schema", "pcflow-bench");
   // v2: + engine / shards / delivery / fixed_rounds per scenario (the scale
-  // suites). v1 consumers keyed only on fields that are still present.
-  json.field("schema_version", std::int64_t{2});
+  // suites). v3: the algorithm enum grew corr (correction allreduce) and fumd
+  // (FU/MD hybrid) cells across every suite. v1/v2 consumers keyed only on
+  // fields that are still present.
+  json.field("schema_version", std::int64_t{3});
   json.field("suite", report.options.suite);
   json.field("seed", report.options.seed);
   // Note: the thread count is deliberately NOT in the document — results are

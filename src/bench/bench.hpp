@@ -32,7 +32,7 @@ namespace pcf::bench {
 /// cycling: p=0.002 per link per round, mean-20-round outages).
 struct Scenario {
   std::string name;        ///< unique id, e.g. "pcf/ring:16/crash"
-  std::string algorithm;   ///< ps | pf | pcf | fu
+  std::string algorithm;   ///< ps | pf | pcf | fu | corr | fumd
   std::string topology;    ///< net::Topology::parse spec
   std::string fault_profile = "none";
   std::size_t trials = 2;

@@ -254,6 +254,11 @@ std::vector<ChaosCell> make_chaos_cells(bool fast) {
       for (const double intensity : {1.0, 2.0}) {
         add("pcf", topo, intensity, 2, 150, 1500);
         add("pf", topo, intensity, 2, 150, 1500);
+        // Roster: the tree allreduce's churn cells chart the paper's
+        // trade-off (exclusions fragment the schedule; recovery needs the
+        // healed tree to re-propagate), the hybrid rides the gossip cells.
+        add("corr", topo, intensity, 2, 150, 1500);
+        add("fumd", topo, intensity, 2, 150, 1500);
       }
     }
     return cells;
@@ -261,7 +266,7 @@ std::vector<ChaosCell> make_chaos_cells(bool fast) {
 
   // The full ramp: every algorithm (push-sum's casualties are the point —
   // it has no fault story), three topology families, intensities 0.5–4.
-  for (const char* algorithm : {"ps", "pf", "pcf", "fu"}) {
+  for (const char* algorithm : {"ps", "pf", "pcf", "fu", "corr", "fumd"}) {
     for (const char* topo : {"ring:32", "torus2d:6x6", "hypercube:5"}) {
       for (const double intensity : {0.5, 1.0, 2.0, 4.0}) {
         add(algorithm, topo, intensity, 4, 400, 6000);
@@ -294,9 +299,11 @@ std::vector<ChaosRestoreCell> make_chaos_restore_cells(bool fast) {
     add("pcf", "ring:16", "legacy", 2, 70, 20, 3000);
     add("pcf", "ring:16", "arena", 2, 70, 20, 3000);
     add("pf", "hypercube:4", "legacy", 2, 70, 20, 3000);
+    add("corr", "ring:16", "arena", 2, 70, 20, 3000);
+    add("fumd", "hypercube:4", "legacy", 2, 70, 20, 3000);
     return cells;
   }
-  for (const char* algorithm : {"ps", "pf", "pcf", "fu"}) {
+  for (const char* algorithm : {"ps", "pf", "pcf", "fu", "corr", "fumd"}) {
     for (const char* topo : {"ring:32", "hypercube:5"}) {
       for (const char* engine : {"legacy", "arena"}) {
         add(algorithm, topo, engine, 3, 130, 40, 6000);
@@ -373,8 +380,10 @@ std::string chaos_report_to_json(const ChaosReport& report) {
   JsonWriter json;
   json.begin_object();
   json.field("schema", "pcflow-chaos");
-  // v2 adds the checkpoint-vs-intrinsic race family (restore_cells).
-  json.field("schema_version", std::int64_t{2});
+  // v2 adds the checkpoint-vs-intrinsic race family (restore_cells). v3 grows
+  // the algorithm enum: corr (correction allreduce) and fumd (FU/MD hybrid)
+  // cells in both families.
+  json.field("schema_version", std::int64_t{3});
   json.field("mode", report.options.fast ? "fast" : "full");
   json.field("seed", report.options.seed);
   // No wall-clock fields anywhere: a chaos report is byte-deterministic per

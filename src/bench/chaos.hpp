@@ -33,7 +33,7 @@ namespace pcf::bench {
 /// One chaos cell: an algorithm on a topology at a churn intensity.
 struct ChaosCell {
   std::string name;       ///< unique id, e.g. "pcf/ring:16/x2"
-  std::string algorithm;  ///< ps | pf | pcf | fu
+  std::string algorithm;  ///< ps | pf | pcf | fu | corr | fumd
   std::string topology;   ///< net::Topology::parse spec
   double intensity = 1.0;  ///< scales the churn / duplication / reorder rates
   std::size_t trials = 2;
@@ -81,7 +81,7 @@ struct ChaosCellResult {
 /// own fault tolerance, and at what blob size".
 struct ChaosRestoreCell {
   std::string name;       ///< unique id, e.g. "restore/pcf/ring:16/legacy"
-  std::string algorithm;  ///< ps | pf | pcf | fu
+  std::string algorithm;  ///< ps | pf | pcf | fu | corr | fumd
   std::string topology;   ///< net::Topology::parse spec
   std::string engine = "legacy";  ///< legacy | arena
   std::size_t trials = 2;

@@ -89,6 +89,34 @@ ArenaFleet::ArenaFleet(Algorithm algorithm, const ReducerConfig& config,
       estimates_.assign(edges * stride_, 0.0);
       have_estimate_.assign(edges, 0);
       break;
+    case Algorithm::kCorrectionAllreduce: {
+      PCF_CHECK_MSG(config_.tree != nullptr,
+                    "correction-allreduce needs a resolved tree schedule "
+                    "(engines build one; direct construction must supply it)");
+      tree_ = config_.tree;
+      PCF_CHECK_MSG(tree_->parent.size() >= n && tree_->depth.size() >= n,
+                    "tree schedule does not cover the topology");
+      initial_.assign(n * stride_, 0.0);
+      estimates_.assign(edges * stride_, 0.0);  // child subtree reports
+      have_estimate_.assign(edges, 0);
+      child_.assign(edges, 0);
+      global_.assign(n * stride_, 0.0);
+      have_global_.assign(n, 0);
+      // Static child set per node (see CorrectionAllreduce::init): the edge's
+      // neighbor claims us when its scheduled parent is us.
+      for (NodeId i = 0; i < n; ++i) {
+        for (std::size_t e = offsets_[i]; e < offsets_[i + 1]; ++e) {
+          child_[e] = tree_->parent[nbr_[e]] == i ? 1 : 0;
+        }
+      }
+      break;
+    }
+    case Algorithm::kFuMassHybrid:
+      initial_.assign(n * stride_, 0.0);
+      flows_.assign(edges * stride_, 0.0);
+      estimates_.assign(edges * stride_, 0.0);  // m̂_j: neighbor's reported mass
+      have_estimate_.assign(edges, 0);
+      break;
   }
   std::vector<double>& input = algorithm_ == Algorithm::kPushSum ? mass_ : initial_;
   for (NodeId i = 0; i < n; ++i) store_mass(row(input, i), initial[i]);
@@ -162,10 +190,11 @@ void ArenaFleet::local_mass_into(NodeId i, double* out) const noexcept {
       for (std::size_t k = 0; k < stride_; ++k) out[k] -= sum[k];
       return;
     }
-    case Algorithm::kFlowUpdating: {
-      // FlowUpdating::local_mass subtracts live flows PER SLOT from the
-      // initial mass — a different rounding than PF's sum-then-subtract,
-      // deliberately preserved.
+    case Algorithm::kFlowUpdating:
+    case Algorithm::kFuMassHybrid: {
+      // FlowUpdating::local_mass (shared by the hybrid) subtracts live flows
+      // PER SLOT from the initial mass — a different rounding than PF's
+      // sum-then-subtract, deliberately preserved.
       const double* init = row(initial_, i);
       for (std::size_t k = 0; k < stride_; ++k) out[k] = init[k];
       for (std::size_t s = 0; s < degree(i); ++s) {
@@ -174,6 +203,13 @@ void ArenaFleet::local_mass_into(NodeId i, double* out) const noexcept {
         const double* f = row(flows_, e);
         for (std::size_t k = 0; k < stride_; ++k) out[k] -= f[k];
       }
+      return;
+    }
+    case Algorithm::kCorrectionAllreduce: {
+      // CorrectionAllreduce::local_mass: reports move no mass — the conserved
+      // quantity is the input itself.
+      const double* init = row(initial_, i);
+      for (std::size_t k = 0; k < stride_; ++k) out[k] = init[k];
       return;
     }
   }
@@ -193,6 +229,37 @@ void ArenaFleet::fused_into(NodeId i, double* out) const noexcept {
   for (std::size_t k = 0; k < stride_; ++k) out[k] *= inv;
 }
 
+void ArenaFleet::subtree_sum_into(NodeId i, double* out) const noexcept {
+  // CorrectionAllreduce::subtree_sum: v_i plus every live, claiming, reported
+  // child's report, ascending slot order.
+  const double* init = row(initial_, i);
+  for (std::size_t k = 0; k < stride_; ++k) out[k] = init[k];
+  for (std::size_t s = 0; s < degree(i); ++s) {
+    const std::size_t e = offsets_[i] + s;
+    if (alive_[e] == 0 || child_[e] == 0 || have_estimate_[e] == 0) continue;
+    const double* r = row(estimates_, e);
+    for (std::size_t k = 0; k < stride_; ++k) out[k] += r[k];
+  }
+}
+
+std::optional<std::size_t> ArenaFleet::correction_parent_slot(NodeId i) const noexcept {
+  // CorrectionAllreduce::current_parent_slot: the (depth, id)-minimal live
+  // neighbor at strictly smaller static depth. Ascending slots == ascending
+  // ids, so the strict < breaks depth ties toward the smaller id.
+  std::optional<std::size_t> best;
+  std::uint32_t best_depth = tree_->depth[i];
+  for (std::size_t s = 0; s < degree(i); ++s) {
+    const std::size_t e = offsets_[i] + s;
+    if (alive_[e] == 0) continue;
+    const std::uint32_t d = tree_->depth[nbr_[e]];
+    if (d < best_depth) {
+      best = s;
+      best_depth = d;
+    }
+  }
+  return best;
+}
+
 Mass ArenaFleet::local_mass(NodeId i) const {
   double buf[kMaxStride];
   local_mass_into(i, buf);
@@ -204,6 +271,16 @@ double ArenaFleet::estimate(NodeId i, std::size_t k) const {
   double buf[kMaxStride];
   if (algorithm_ == Algorithm::kFlowUpdating) {
     fused_into(i, buf);  // FU reports the fused neighborhood estimate
+  } else if (algorithm_ == Algorithm::kCorrectionAllreduce) {
+    // CorrectionAllreduce::estimate: the parent-delivered global view while
+    // attached, the own subtree sum as a (fragment) root or before the first
+    // view arrives.
+    if (have_global_[i] != 0 && correction_parent_slot(i).has_value()) {
+      const double* g = row(global_, i);
+      for (std::size_t c = 0; c < stride_; ++c) buf[c] = g[c];
+    } else {
+      subtree_sum_into(i, buf);
+    }
   } else {
     local_mass_into(i, buf);
   }
@@ -239,6 +316,10 @@ void ArenaFleet::mark_alive_slot(NodeId i, std::size_t slot) noexcept {
 void ArenaFleet::on_link_down(NodeId i, NodeId j) {
   const auto slot = slot_of(i, j);
   if (!slot || alive_[offsets_[i] + *slot] == 0) return;  // unknown or already dead
+  // The legacy reducer resolves its current parent BEFORE the exclusion takes
+  // effect — replicate the ordering.
+  std::optional<std::size_t> parent_slot;
+  if (algorithm_ == Algorithm::kCorrectionAllreduce) parent_slot = correction_parent_slot(i);
   mark_dead_slot(i, *slot);
   const std::size_t e = offsets_[i] + *slot;
   switch (algorithm_) {
@@ -273,10 +354,19 @@ void ArenaFleet::on_link_down(NodeId i, NodeId j) {
       }
       return;
     }
-    case Algorithm::kFlowUpdating: {
+    case Algorithm::kFlowUpdating:
+    case Algorithm::kFuMassHybrid: {
       zero_row(row(flows_, e), stride_);
       zero_row(row(estimates_, e), stride_);
       have_estimate_[e] = 0;
+      return;
+    }
+    case Algorithm::kCorrectionAllreduce: {
+      zero_row(row(estimates_, e), stride_);
+      have_estimate_[e] = 0;
+      child_[e] = 0;
+      // Losing the parent drops the global view.
+      if (parent_slot && *parent_slot == *slot) have_global_[i] = 0;
       return;
     }
   }
@@ -303,9 +393,16 @@ void ArenaFleet::on_link_up(NodeId i, NodeId j) {
       zero_row(row(pending_, e), stride_);
       return;
     case Algorithm::kFlowUpdating:
+    case Algorithm::kFuMassHybrid:
       zero_row(row(flows_, e), stride_);
       zero_row(row(estimates_, e), stride_);
       have_estimate_[e] = 0;
+      return;
+    case Algorithm::kCorrectionAllreduce:
+      // Blank edge: no claim, no report, until the neighbor's first packet.
+      zero_row(row(estimates_, e), stride_);
+      have_estimate_[e] = 0;
+      child_[e] = 0;
       return;
   }
 }
@@ -324,6 +421,12 @@ bool ArenaFleet::corrupt_stored_flow(NodeId i, Rng& rng) {
   if (algorithm_ == Algorithm::kPushCancelFlow) {
     const auto edge = static_cast<std::size_t>(rng.below(deg));
     victim_row = pcf_flow(offsets_[i] + edge, static_cast<std::uint8_t>(rng.below(2)));
+  } else if (algorithm_ == Algorithm::kCorrectionAllreduce) {
+    // Victim: one stored child report, or (last index) the global view — the
+    // same below(deg + 1) draw as the legacy reducer.
+    const auto victim_index = static_cast<std::size_t>(rng.below(deg + 1));
+    victim_row =
+        victim_index < deg ? row(estimates_, offsets_[i] + victim_index) : row(global_, i);
   } else {
     const auto slot = static_cast<std::size_t>(rng.below(deg));
     victim_row = row(flows_, offsets_[i] + slot);
@@ -372,12 +475,26 @@ void ArenaFleet::reset_node(NodeId i, const Mass& initial) {
       role_swaps_[i] = 0;
       return;
     case Algorithm::kFlowUpdating:
+    case Algorithm::kFuMassHybrid:
       store_mass(row(initial_, i), initial);
       for (std::size_t s = 0; s < deg; ++s) {
         zero_row(row(flows_, base + s), stride_);
         zero_row(row(estimates_, base + s), stride_);
         have_estimate_[base + s] = 0;
       }
+      return;
+    case Algorithm::kCorrectionAllreduce:
+      store_mass(row(initial_, i), initial);
+      for (std::size_t s = 0; s < deg; ++s) {
+        const std::size_t e = base + s;
+        zero_row(row(estimates_, e), stride_);
+        have_estimate_[e] = 0;
+        // Factory-fresh init re-derives the STATIC child set from the
+        // schedule (CorrectionAllreduce::init on rejoin).
+        child_[e] = tree_->parent[nbr_[e]] == i ? 1 : 0;
+      }
+      zero_row(row(global_, i), stride_);
+      have_global_[i] = 0;
       return;
   }
 }
@@ -419,6 +536,7 @@ void ArenaFleet::save_node(NodeId i, BinaryWriter& w) const {
       w.u64(role_swaps_[i]);
       return;
     case Algorithm::kFlowUpdating:
+    case Algorithm::kFuMassHybrid:
       write_row(w, row(initial_, i), stride_);
       for (std::size_t s = 0; s < deg; ++s) {
         const std::size_t e = base + s;
@@ -426,6 +544,17 @@ void ArenaFleet::save_node(NodeId i, BinaryWriter& w) const {
         write_row(w, row(estimates_, e), stride_);
         w.u8(have_estimate_[e]);
       }
+      return;
+    case Algorithm::kCorrectionAllreduce:
+      write_row(w, row(initial_, i), stride_);
+      for (std::size_t s = 0; s < deg; ++s) {
+        const std::size_t e = base + s;
+        write_row(w, row(estimates_, e), stride_);
+        w.u8(have_estimate_[e]);
+        w.u8(child_[e]);
+      }
+      write_row(w, row(global_, i), stride_);
+      w.u8(have_global_[i]);
       return;
   }
 }
@@ -464,6 +593,7 @@ void ArenaFleet::load_node(NodeId i, BinaryReader& r) {
       role_swaps_[i] = r.u64();
       return;
     case Algorithm::kFlowUpdating:
+    case Algorithm::kFuMassHybrid:
       read_row(r, row(initial_, i), stride_);
       for (std::size_t s = 0; s < deg; ++s) {
         const std::size_t e = base + s;
@@ -471,6 +601,17 @@ void ArenaFleet::load_node(NodeId i, BinaryReader& r) {
         read_row(r, row(estimates_, e), stride_);
         have_estimate_[e] = r.u8() ? 1 : 0;
       }
+      return;
+    case Algorithm::kCorrectionAllreduce:
+      read_row(r, row(initial_, i), stride_);
+      for (std::size_t s = 0; s < deg; ++s) {
+        const std::size_t e = base + s;
+        read_row(r, row(estimates_, e), stride_);
+        have_estimate_[e] = r.u8() ? 1 : 0;
+        child_[e] = r.u8() ? 1 : 0;
+      }
+      read_row(r, row(global_, i), stride_);
+      have_global_[i] = r.u8() ? 1 : 0;
       return;
   }
 }
@@ -482,9 +623,11 @@ double ArenaFleet::max_abs_flow_component(NodeId i) const noexcept {
   };
   switch (algorithm_) {
     case Algorithm::kPushSum:
-      return 0.0;
+    case Algorithm::kCorrectionAllreduce:
+      return 0.0;  // no flow state
     case Algorithm::kPushFlow:
     case Algorithm::kFlowUpdating:
+    case Algorithm::kFuMassHybrid:
       for (std::size_t s = 0; s < degree(i); ++s) {
         const std::size_t e = offsets_[i] + s;
         if (alive_[e] != 0) scan(row(flows_, e));
@@ -513,13 +656,17 @@ std::size_t ArenaFleet::wire_masses() const noexcept {
       return 1;
     case Algorithm::kPushCancelFlow:
     case Algorithm::kFlowUpdating:
+    case Algorithm::kCorrectionAllreduce:
+    case Algorithm::kFuMassHybrid:
       return 2;
   }
   return 1;
 }
 
 std::size_t ArenaFleet::flows_toward(NodeId i, NodeId j, std::span<Mass> out) const {
-  if (algorithm_ == Algorithm::kPushSum) return 0;
+  if (algorithm_ == Algorithm::kPushSum || algorithm_ == Algorithm::kCorrectionAllreduce) {
+    return 0;  // no flow state
+  }
   const auto slot = slot_of(i, j);
   if (!slot || alive_[offsets_[i] + *slot] == 0) return 0;
   const std::size_t e = offsets_[i] + *slot;
@@ -555,13 +702,16 @@ Mass ArenaFleet::unreceived_mass(NodeId i, NodeId from, const Packet& packet) co
       if (!slot || alive_[offsets_[i] + *slot] == 0 || packet.a.dim() != dim_) return delta;
       return mass_from(row(flows_, offsets_[i] + *slot)) + packet.a;
     }
-    case Algorithm::kFlowUpdating: {
+    case Algorithm::kFlowUpdating:
+    case Algorithm::kFuMassHybrid: {
       if (!slot || alive_[offsets_[i] + *slot] == 0 || packet.a.dim() != dim_ ||
           packet.b.dim() != dim_) {
         return delta;
       }
       return mass_from(row(flows_, offsets_[i] + *slot)) + packet.a;
     }
+    case Algorithm::kCorrectionAllreduce:
+      return delta;  // reports carry no conserved mass
     case Algorithm::kPushCancelFlow:
       break;  // handled below
   }
@@ -725,6 +875,10 @@ std::optional<ArenaFleet::Send> ArenaFleet::make_message_any(NodeId i, Rng& rng)
       return make_message<Algorithm::kPushCancelFlow>(i, rng);
     case Algorithm::kFlowUpdating:
       return make_message<Algorithm::kFlowUpdating>(i, rng);
+    case Algorithm::kCorrectionAllreduce:
+      return make_message<Algorithm::kCorrectionAllreduce>(i, rng);
+    case Algorithm::kFuMassHybrid:
+      return make_message<Algorithm::kFuMassHybrid>(i, rng);
   }
   return std::nullopt;
 }
@@ -739,6 +893,10 @@ std::optional<ArenaFleet::Send> ArenaFleet::make_message_to_any(NodeId i, NodeId
       return make_message_to<Algorithm::kPushCancelFlow>(i, target);
     case Algorithm::kFlowUpdating:
       return make_message_to<Algorithm::kFlowUpdating>(i, target);
+    case Algorithm::kCorrectionAllreduce:
+      return make_message_to<Algorithm::kCorrectionAllreduce>(i, target);
+    case Algorithm::kFuMassHybrid:
+      return make_message_to<Algorithm::kFuMassHybrid>(i, target);
   }
   return std::nullopt;
 }
@@ -758,6 +916,12 @@ void ArenaFleet::receive_any(NodeId i, NodeId from, const Packet& packet) {
       return;
     case Algorithm::kFlowUpdating:
       receive<Algorithm::kFlowUpdating>(i, from, *slot, packet);
+      return;
+    case Algorithm::kCorrectionAllreduce:
+      receive<Algorithm::kCorrectionAllreduce>(i, from, *slot, packet);
+      return;
+    case Algorithm::kFuMassHybrid:
+      receive<Algorithm::kFuMassHybrid>(i, from, *slot, packet);
       return;
   }
 }
@@ -810,6 +974,10 @@ std::string_view ArenaReducer::name() const noexcept {
                                                                : "push-cancel-flow/robust";
     case Algorithm::kFlowUpdating:
       return "flow-updating";
+    case Algorithm::kCorrectionAllreduce:
+      return "correction-allreduce";
+    case Algorithm::kFuMassHybrid:
+      return "fu-mass-hybrid";
   }
   return "arena";
 }

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -175,6 +176,11 @@ class ArenaFleet {
   void local_mass_into(NodeId i, double* out) const noexcept;
   /// FU only: the fused neighborhood average a_i.
   void fused_into(NodeId i, double* out) const noexcept;
+  /// CORR only: v_i plus the reports of all current live children, slot order.
+  void subtree_sum_into(NodeId i, double* out) const noexcept;
+  /// CORR only: slot of the (depth, id)-minimal live neighbor at strictly
+  /// smaller static tree depth, or nullopt for a (fragment) root.
+  [[nodiscard]] std::optional<std::size_t> correction_parent_slot(NodeId i) const noexcept;
 
   void mark_dead_slot(NodeId i, std::size_t slot) noexcept;
   void mark_alive_slot(NodeId i, std::size_t slot) noexcept;
@@ -206,13 +212,17 @@ class ArenaFleet {
   std::vector<double> initial_;   ///< PF/PCF/FU: n×stride — input data v_i
   std::vector<double> flows_;     ///< PF/FU: E×stride; PCF: E×2×stride
   std::vector<double> cached_;    ///< PF ablation (pf_cached_flow_sum): n×stride
-  std::vector<double> estimates_; ///< FU: E×stride — ê_j per slot
-  std::vector<std::uint8_t> have_estimate_;  ///< FU: per edge
+  std::vector<double> estimates_; ///< FU: ê_j; CORR: child report; FMH: m̂_j — E×stride
+  std::vector<std::uint8_t> have_estimate_;  ///< FU/CORR/FMH: per edge
   std::vector<double> phi_;       ///< PCF: n×stride — absorbed (+fast: live) flows
   std::vector<double> pending_;   ///< PCF: E×stride — initiator's pending absorption
   std::vector<std::uint8_t> active_;         ///< PCF: per edge, active slot 0/1
   std::vector<std::uint64_t> cycle_;         ///< PCF: per edge, phase counter
   std::vector<std::uint64_t> role_swaps_;    ///< PCF: per node
+  std::vector<std::uint8_t> child_;          ///< CORR: per edge — neighbor claims me as parent
+  std::vector<double> global_;               ///< CORR: n×stride — last global view from parent
+  std::vector<std::uint8_t> have_global_;    ///< CORR: per node
+  std::shared_ptr<const net::TreeSchedule> tree_;  ///< CORR: resolved static schedule
 };
 
 // ---------------------------------------------------------------------------
@@ -270,8 +280,7 @@ std::optional<ArenaFleet::Send> ArenaFleet::send_to_slot(NodeId i, std::size_t s
     out.packet.active_slot = static_cast<std::uint8_t>(active_[e] + 1);  // wire: 1-based
     out.packet.role_count = cycle_[e];
     return out;
-  } else {
-    static_assert(A == Algorithm::kFlowUpdating);
+  } else if constexpr (A == Algorithm::kFlowUpdating) {
     // FlowUpdating::send_to_slot: move the edge flow toward the fused average.
     double a[kMaxStride];
     fused_into(i, a);
@@ -286,6 +295,44 @@ std::optional<ArenaFleet::Send> ArenaFleet::send_to_slot(NodeId i, std::size_t s
     have_estimate_[e] = 1;
     out.packet.a = mass_from(f);
     out.packet.b = mass_from(a);
+    return out;
+  } else if constexpr (A == Algorithm::kCorrectionAllreduce) {
+    // CorrectionAllreduce::send_to_slot: full status — subtree report, parent
+    // claim, and (when held) the global view.
+    double s[kMaxStride];
+    subtree_sum_into(i, s);
+    const auto parent_slot = correction_parent_slot(i);
+    out.packet.a = mass_from(s);
+    out.packet.role_count =
+        parent_slot ? static_cast<std::uint64_t>(nbr_[offsets_[i] + *parent_slot]) + 1 : 0;
+    if (!parent_slot) {
+      out.packet.b = mass_from(s);  // the (fragment) root's sum IS the view
+      out.packet.active_slot = 2;
+    } else if (have_global_[i] != 0) {
+      out.packet.b = mass_from(row(global_, i));
+      out.packet.active_slot = 2;
+    } else {
+      out.packet.b = Mass::zero(dim_);
+      out.packet.active_slot = 1;  // b carries nothing yet
+    }
+    return out;
+  } else {
+    static_assert(A == Algorithm::kFuMassHybrid);
+    // FuMassHybrid::send_to_slot: halve the gap to the neighbor's last report
+    // through the edge flow, then transmit (flow, post-step mass).
+    double m[kMaxStride];
+    local_mass_into(i, m);
+    double* f = row(flows_, e);
+    if (have_estimate_[e] != 0) {
+      const double* rep = row(estimates_, e);
+      for (std::size_t k = 0; k < stride_; ++k) {
+        const double d = (m[k] - rep[k]) * 0.5;
+        f[k] += d;
+        m[k] -= d;
+      }
+    }
+    out.packet.a = mass_from(f);
+    out.packet.b = mass_from(m);
     return out;
   }
 }
@@ -331,8 +378,29 @@ void ArenaFleet::receive(NodeId i, NodeId from, std::size_t slot, const Packet& 
     } else {
       pcf_receive_as_completer(i, e, packet);
     }
+  } else if constexpr (A == Algorithm::kCorrectionAllreduce) {
+    if (alive_[e] == 0) return;
+    if (packet.a.dim() != dim_ || packet.b.dim() != dim_) return;
+    if (packet.active_slot != 1 && packet.active_slot != 2) return;  // corrupted header
+    const bool claims_us = packet.role_count == static_cast<std::uint64_t>(i) + 1;
+    child_[e] = claims_us ? 1 : 0;
+    if (claims_us) {
+      store_mass(row(estimates_, e), packet.a);
+      have_estimate_[e] = 1;
+    } else {
+      have_estimate_[e] = 0;
+    }
+    if (packet.active_slot == 2) {
+      const auto parent_slot = correction_parent_slot(i);
+      if (parent_slot && offsets_[i] + *parent_slot == e) {
+        store_mass(row(global_, i), packet.b);
+        have_global_[i] = 1;
+      }
+    }
   } else {
-    static_assert(A == Algorithm::kFlowUpdating);
+    // FU and the FU/MD hybrid share the receive rule: overwrite the edge flow
+    // with the exact mirror negation and refresh the neighbor's report.
+    static_assert(A == Algorithm::kFlowUpdating || A == Algorithm::kFuMassHybrid);
     if (alive_[e] == 0) return;
     if (packet.a.dim() != dim_ || packet.b.dim() != dim_) return;
     double* f = row(flows_, e);

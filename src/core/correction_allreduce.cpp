@@ -1,0 +1,212 @@
+#include "core/correction_allreduce.hpp"
+
+#include "core/state_io.hpp"
+
+#include <cstring>
+
+namespace pcf::core {
+
+void CorrectionAllreduce::init(NodeId self, std::span<const NodeId> neighbors, Mass initial) {
+  PCF_CHECK_MSG(!initialized_, "reducer initialized twice");
+  PCF_CHECK_MSG(!neighbors.empty(), "node needs at least one neighbor");
+  PCF_CHECK_MSG(config_.tree != nullptr,
+                "correction-allreduce needs a resolved tree schedule "
+                "(engines build one; direct construction must supply it)");
+  const net::TreeSchedule& tree = *config_.tree;
+  PCF_CHECK_MSG(self < tree.parent.size(), "tree schedule does not cover node " << self);
+  neighbors_.init(neighbors);
+  self_ = self;
+  initial_ = std::move(initial);
+  received_.assign(neighbors_.size(), Mass::zero(initial_.dim()));
+  have_received_.assign(neighbors_.size(), false);
+  child_.assign(neighbors_.size(), false);
+  for (std::size_t slot = 0; slot < neighbors_.size(); ++slot) {
+    const NodeId j = neighbors_.id_at(slot);
+    PCF_CHECK_MSG(j < tree.parent.size(), "tree schedule does not cover node " << j);
+    // Static child set: j's published parent is us. Claims in received
+    // packets keep this current as the live tree deviates from the schedule.
+    child_[slot] = tree.parent[j] == self_;
+  }
+  global_ = Mass::zero(initial_.dim());
+  initialized_ = true;
+}
+
+std::optional<std::size_t> CorrectionAllreduce::current_parent_slot() const {
+  const net::TreeSchedule& tree = *config_.tree;
+  std::optional<std::size_t> best;
+  std::uint32_t best_depth = tree.depth[self_];
+  for (std::size_t slot = 0; slot < neighbors_.size(); ++slot) {
+    if (!neighbors_.alive_at(slot)) continue;
+    const std::uint32_t d = tree.depth[neighbors_.id_at(slot)];
+    if (d < best_depth) {  // strict <: ascending slots already break id ties
+      best = slot;
+      best_depth = d;
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> CorrectionAllreduce::current_parent() const {
+  PCF_CHECK_MSG(initialized_, "current_parent before init");
+  const auto slot = current_parent_slot();
+  if (!slot) return std::nullopt;
+  return neighbors_.id_at(*slot);
+}
+
+Mass CorrectionAllreduce::subtree_sum() const {
+  Mass s = initial_;
+  for (std::size_t slot = 0; slot < received_.size(); ++slot) {
+    if (!neighbors_.alive_at(slot) || !child_[slot] || !have_received_[slot]) continue;
+    s += received_[slot];
+  }
+  return s;
+}
+
+double CorrectionAllreduce::estimate(std::size_t k) const {
+  PCF_CHECK_MSG(initialized_, "estimate before init");
+  if (have_global_ && current_parent_slot().has_value()) return global_.estimate(k);
+  return subtree_sum().estimate(k);
+}
+
+std::optional<Outgoing> CorrectionAllreduce::make_message(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto slot = neighbors_.pick_live_slot(rng);
+  if (!slot) return std::nullopt;
+  return send_to_slot(*slot);
+}
+
+std::optional<Outgoing> CorrectionAllreduce::make_message_to(NodeId target) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto slot_opt = neighbors_.slot_of(target);
+  if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return std::nullopt;
+  return send_to_slot(*slot_opt);
+}
+
+std::optional<Outgoing> CorrectionAllreduce::send_to_slot(std::size_t slot) {
+  const Mass s = subtree_sum();
+  const auto parent_slot = current_parent_slot();
+
+  Outgoing out;
+  out.to = neighbors_.id_at(slot);
+  out.packet.a = s;
+  out.packet.role_count =
+      parent_slot ? static_cast<std::uint64_t>(neighbors_.id_at(*parent_slot)) + 1 : 0;
+  if (!parent_slot) {
+    out.packet.b = s;  // the (fragment) root's subtree sum IS the global view
+    out.packet.active_slot = 2;
+  } else if (have_global_) {
+    out.packet.b = global_;
+    out.packet.active_slot = 2;
+  } else {
+    out.packet.b = Mass::zero(initial_.dim());
+    out.packet.active_slot = 1;  // b carries nothing yet
+  }
+  return out;
+}
+
+void CorrectionAllreduce::on_receive(NodeId from, const Packet& packet) {
+  PCF_CHECK_MSG(initialized_, "on_receive before init");
+  const auto slot = neighbors_.slot_of(from);
+  if (!slot || !neighbors_.alive_at(*slot)) return;
+  if (packet.a.dim() != initial_.dim() || packet.b.dim() != initial_.dim()) return;
+  if (packet.active_slot != 1 && packet.active_slot != 2) return;  // corrupted header
+  // The claim keeps our child set current: a neighbor that re-attached
+  // elsewhere revokes itself with its next packet, a (re)attached child
+  // enrolls with its report.
+  const bool claims_us = packet.role_count == static_cast<std::uint64_t>(self_) + 1;
+  child_[*slot] = claims_us;
+  if (claims_us) {
+    received_[*slot] = packet.a;
+    have_received_[*slot] = true;
+  } else {
+    have_received_[*slot] = false;
+  }
+  if (packet.active_slot == 2) {
+    const auto parent_slot = current_parent_slot();
+    if (parent_slot && *parent_slot == *slot) {
+      global_ = packet.b;
+      have_global_ = true;
+    }
+  }
+}
+
+void CorrectionAllreduce::update_data(const Mass& delta) {
+  PCF_CHECK_MSG(initialized_, "update_data before init");
+  PCF_CHECK_MSG(delta.dim() == initial_.dim(), "update_data dimension mismatch");
+  initial_ += delta;
+}
+
+void CorrectionAllreduce::on_link_down(NodeId j) {
+  const auto parent_slot = current_parent_slot();
+  const auto slot = neighbors_.mark_dead(j);
+  if (!slot) return;
+  received_[*slot].set_zero();
+  have_received_[*slot] = false;
+  child_[*slot] = false;
+  // Losing the parent drops the global view: until the re-attached (or
+  // fragment-root) position receives a fresh one, the subtree sum is the
+  // honest estimate.
+  if (parent_slot && *parent_slot == *slot) have_global_ = false;
+}
+
+void CorrectionAllreduce::on_link_up(NodeId j) {
+  const auto slot = neighbors_.mark_alive(j);
+  if (!slot) return;
+  // Blank edge: no claim, no report, until j's first packet.
+  received_[*slot].set_zero();
+  have_received_[*slot] = false;
+  child_[*slot] = false;
+}
+
+bool CorrectionAllreduce::corrupt_stored_flow(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "corrupt_stored_flow before init");
+  // Victim: one stored child report, or (last index) the global view. Both
+  // are absolute quantities the next periodic resend overwrites — the
+  // correction mechanism doubles as soft-error healing.
+  const auto victim_index = static_cast<std::size_t>(rng.below(received_.size() + 1));
+  Mass& victim_mass = victim_index < received_.size() ? received_[victim_index] : global_;
+  const auto component = static_cast<std::size_t>(rng.below(victim_mass.dim() + 1));
+  double& victim = component < victim_mass.dim() ? victim_mass.s[component] : victim_mass.w;
+  std::uint64_t bit = rng.below(53);
+  if (bit == 52) bit = 63;  // sign bit
+  std::uint64_t bits;
+  std::memcpy(&bits, &victim, sizeof bits);
+  bits ^= (std::uint64_t{1} << bit);
+  std::memcpy(&victim, &bits, sizeof bits);
+  return true;
+}
+
+Mass CorrectionAllreduce::unreceived_mass(NodeId /*from*/, const Packet& /*packet*/) const {
+  PCF_CHECK_MSG(initialized_, "unreceived_mass before init");
+  // Delivering a packet never changes local_mass() — reports carry no
+  // conserved mass.
+  return Mass::zero(initial_.dim());
+}
+
+void CorrectionAllreduce::save_state(BinaryWriter& w) const {
+  PCF_CHECK_MSG(initialized_, "save_state before init");
+  neighbors_.save_state(w);
+  write_mass(w, initial_);  // mutable via update_data
+  for (std::size_t slot = 0; slot < received_.size(); ++slot) {
+    write_mass(w, received_[slot]);
+    w.boolean(have_received_[slot]);
+    w.boolean(child_[slot]);
+  }
+  write_mass(w, global_);
+  w.boolean(have_global_);
+}
+
+void CorrectionAllreduce::load_state(BinaryReader& r) {
+  PCF_CHECK_MSG(initialized_, "load_state before init");
+  neighbors_.load_state(r);
+  initial_ = read_mass(r);
+  for (std::size_t slot = 0; slot < received_.size(); ++slot) {
+    received_[slot] = read_mass(r);
+    have_received_[slot] = r.boolean();
+    child_[slot] = r.boolean();
+  }
+  global_ = read_mass(r);
+  have_global_ = r.boolean();
+}
+
+}  // namespace pcf::core

@@ -1,0 +1,98 @@
+// Correction-based fault-tolerant Allreduce (Küttler & Härtig, "Fault-
+// tolerant Reduce and Allreduce operations based on correction"), recast
+// onto this repo's gossip pacing.
+//
+// The protocol runs over a spanning tree of the topology (net::TreeSchedule).
+// Every node repeatedly publishes its SUBTREE SUM — its own input plus the
+// last reported sums of its current children — and the root's subtree sum,
+// the exact global aggregate once every report has arrived, is propagated
+// back down as the shared estimate. All reports are *absolute* and therefore
+// idempotent: loss, duplication and reordering are corrected by the next
+// periodic resend, which is the paper's correction mechanism in its
+// steady-state form.
+//
+// Every packet is the node's full status, regardless of the drawn receiver:
+//   a           the sender's current subtree sum
+//   b           the sender's global view (valid iff active_slot == 2; the
+//               root publishes its own subtree sum here)
+//   role_count  the sender's current parent id + 1 (0 = fragment root) — the
+//               receiver derives its child set from these claims, so parent
+//               revocations need no extra message type
+//
+// Failure handling (the correction rounds): a node whose parent link is
+// excluded re-attaches to its (depth, id)-minimal live neighbor of strictly
+// smaller STATIC tree depth — strictly decreasing depth keeps parent chains
+// acyclic without any coordination. If no such neighbor is live the node
+// becomes a fragment root and honestly reports its fragment's aggregate;
+// that graceful-degradation cliff under churn is exactly the trade-off the
+// chaos harness charts against the gossip algorithms. The current parent is
+// a pure function of the live neighbor set and the static schedule — it is
+// recomputed on demand and never serialized.
+//
+// Unlike the flow family, no mass ever moves: local_mass() is the input
+// itself, so conservation is trivial and crashed nodes' in-flight packets
+// carry no unreceived mass.
+#pragma once
+
+#include <vector>
+
+#include "core/neighbor_set.hpp"
+#include "core/reducer.hpp"
+
+namespace pcf::core {
+
+class CorrectionAllreduce final : public Reducer {
+ public:
+  explicit CorrectionAllreduce(const ReducerConfig& config) : config_(config) {}
+
+  void init(NodeId self, std::span<const NodeId> neighbors, Mass initial) override;
+  [[nodiscard]] std::optional<Outgoing> make_message(Rng& rng) override;
+  [[nodiscard]] std::optional<Outgoing> make_message_to(NodeId target) override;
+  void on_receive(NodeId from, const Packet& packet) override;
+  /// The conserved quantity: the input v_i itself (no mass ever moves).
+  [[nodiscard]] Mass local_mass() const override { return initial_; }
+  /// Global view when one has arrived; the subtree (or fragment) sum before
+  /// the first down-propagation and while this node is a fragment root.
+  [[nodiscard]] double estimate(std::size_t k = 0) const override;
+  void on_link_down(NodeId j) override;
+  void on_link_up(NodeId j) override;
+  void update_data(const Mass& delta) override;
+  void save_state(BinaryWriter& w) const override;
+  void load_state(BinaryReader& r) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "correction-allreduce";
+  }
+  [[nodiscard]] std::size_t live_degree() const noexcept override {
+    return neighbors_.live_count();
+  }
+  [[nodiscard]] std::size_t wire_masses() const noexcept override { return 2; }
+  /// Corrupts a stored child report (or the global view) — both self-heal on
+  /// the next periodic resend because all reports are absolute.
+  bool corrupt_stored_flow(Rng& rng) override;
+  [[nodiscard]] Mass unreceived_mass(NodeId from, const Packet& packet) const override;
+
+  /// Test/introspection hook: the current parent id, or nullopt while this
+  /// node is the (fragment) root.
+  [[nodiscard]] std::optional<NodeId> current_parent() const;
+
+ private:
+  [[nodiscard]] std::optional<Outgoing> send_to_slot(std::size_t slot);
+  /// Slot of the (depth, id)-minimal live neighbor at strictly smaller
+  /// static depth, or nullopt when this node is the (fragment) root.
+  [[nodiscard]] std::optional<std::size_t> current_parent_slot() const;
+  /// v_i plus the reports of all current live children, in slot order.
+  [[nodiscard]] Mass subtree_sum() const;
+
+  ReducerConfig config_;
+  NeighborSet neighbors_;
+  NodeId self_ = 0;
+  Mass initial_;
+  std::vector<Mass> received_;     ///< last child report, per slot
+  std::vector<bool> have_received_;
+  std::vector<bool> child_;        ///< neighbor currently claims us as parent
+  Mass global_;                    ///< last global view from the parent
+  bool have_global_ = false;
+  bool initialized_ = false;
+};
+
+}  // namespace pcf::core

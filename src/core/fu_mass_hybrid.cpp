@@ -1,0 +1,168 @@
+#include "core/fu_mass_hybrid.hpp"
+
+#include "core/state_io.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace pcf::core {
+
+void FuMassHybrid::init(NodeId /*self*/, std::span<const NodeId> neighbors, Mass initial) {
+  PCF_CHECK_MSG(!initialized_, "reducer initialized twice");
+  PCF_CHECK_MSG(!neighbors.empty(), "node needs at least one neighbor");
+  neighbors_.init(neighbors);
+  initial_ = std::move(initial);
+  flows_.assign(neighbors_.size(), Mass::zero(initial_.dim()));
+  reported_.assign(neighbors_.size(), Mass::zero(initial_.dim()));
+  have_report_.assign(neighbors_.size(), false);
+  initialized_ = true;
+}
+
+Mass FuMassHybrid::local_mass() const {
+  PCF_CHECK_MSG(initialized_, "local_mass before init");
+  Mass m = initial_;
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    if (neighbors_.alive_at(slot)) m -= flows_[slot];
+  }
+  return m;
+}
+
+std::optional<Outgoing> FuMassHybrid::make_message(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto slot = neighbors_.pick_live_slot(rng);
+  if (!slot) return std::nullopt;
+  return send_to_slot(*slot);
+}
+
+std::optional<Outgoing> FuMassHybrid::make_message_to(NodeId target) {
+  PCF_CHECK_MSG(initialized_, "make_message before init");
+  const auto slot_opt = neighbors_.slot_of(target);
+  if (!slot_opt || !neighbors_.alive_at(*slot_opt)) return std::nullopt;
+  return send_to_slot(*slot_opt);
+}
+
+std::optional<Outgoing> FuMassHybrid::send_to_slot(std::size_t slot) {
+  Mass m = local_mass();
+  if (have_report_[slot]) {
+    // MD pairing: route half the mass gap toward the neighbor's last
+    // reported mass through the edge flow.
+    const Mass& r = reported_[slot];
+    Mass& f = flows_[slot];
+    for (std::size_t k = 0; k < m.dim(); ++k) {
+      const double d = (m.s[k] - r.s[k]) * 0.5;
+      f.s[k] += d;
+      m.s[k] -= d;
+    }
+    const double dw = (m.w - r.w) * 0.5;
+    f.w += dw;
+    m.w -= dw;
+  }
+  // Without a report yet the first exchange only advertises masses.
+
+  Outgoing out;
+  out.to = neighbors_.id_at(slot);
+  out.packet.a = flows_[slot];  // idempotent flow — retransmission-safe
+  out.packet.b = m;             // post-step local mass: the report
+  return out;
+}
+
+void FuMassHybrid::on_receive(NodeId from, const Packet& packet) {
+  PCF_CHECK_MSG(initialized_, "on_receive before init");
+  const auto slot = neighbors_.slot_of(from);
+  if (!slot || !neighbors_.alive_at(*slot)) return;
+  if (packet.a.dim() != initial_.dim() || packet.b.dim() != initial_.dim()) return;
+  flows_[*slot] = packet.a.negated();
+  reported_[*slot] = packet.b;
+  have_report_[*slot] = true;
+}
+
+void FuMassHybrid::update_data(const Mass& delta) {
+  PCF_CHECK_MSG(initialized_, "update_data before init");
+  PCF_CHECK_MSG(delta.dim() == initial_.dim(), "update_data dimension mismatch");
+  initial_ += delta;
+}
+
+void FuMassHybrid::on_link_down(NodeId j) {
+  const auto slot = neighbors_.mark_dead(j);
+  if (!slot) return;
+  flows_[*slot].set_zero();
+  reported_[*slot].set_zero();
+  have_report_[*slot] = false;
+}
+
+void FuMassHybrid::on_link_up(NodeId j) {
+  const auto slot = neighbors_.mark_alive(j);
+  if (!slot) return;
+  // Blank edge: no flow routed, no report until the next packet.
+  flows_[*slot].set_zero();
+  reported_[*slot].set_zero();
+  have_report_[*slot] = false;
+}
+
+bool FuMassHybrid::corrupt_stored_flow(Rng& rng) {
+  PCF_CHECK_MSG(initialized_, "corrupt_stored_flow before init");
+  const auto slot = static_cast<std::size_t>(rng.below(flows_.size()));
+  const auto component = static_cast<std::size_t>(rng.below(flows_[slot].dim() + 1));
+  double& victim = component < flows_[slot].dim() ? flows_[slot].s[component] : flows_[slot].w;
+  std::uint64_t bit = rng.below(53);
+  if (bit == 52) bit = 63;  // sign bit
+  std::uint64_t bits;
+  std::memcpy(&bits, &victim, sizeof bits);
+  bits ^= (std::uint64_t{1} << bit);
+  std::memcpy(&victim, &bits, sizeof bits);
+  return true;
+}
+
+Mass FuMassHybrid::unreceived_mass(NodeId from, const Packet& packet) const {
+  PCF_CHECK_MSG(initialized_, "unreceived_mass before init");
+  Mass none = Mass::zero(initial_.dim());
+  const auto slot = neighbors_.slot_of(from);
+  // Same acceptance conditions as on_receive. The report (packet.b) carries
+  // no conserved mass; only the flow mirror does.
+  if (!slot || !neighbors_.alive_at(*slot) || packet.a.dim() != initial_.dim() ||
+      packet.b.dim() != initial_.dim()) {
+    return none;
+  }
+  return flows_[*slot] + packet.a;
+}
+
+std::size_t FuMassHybrid::flows_toward(NodeId j, std::span<Mass> out) const {
+  const auto slot = neighbors_.slot_of(j);
+  if (!slot || !neighbors_.alive_at(*slot) || out.empty()) return 0;
+  out[0] = flows_[*slot];
+  return 1;
+}
+
+double FuMassHybrid::max_abs_flow_component() const noexcept {
+  double best = 0.0;
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    if (!neighbors_.alive_at(slot)) continue;
+    for (double v : flows_[slot].s) best = std::max(best, std::fabs(v));
+    best = std::max(best, std::fabs(flows_[slot].w));
+  }
+  return best;
+}
+
+void FuMassHybrid::save_state(BinaryWriter& w) const {
+  PCF_CHECK_MSG(initialized_, "save_state before init");
+  neighbors_.save_state(w);
+  write_mass(w, initial_);  // mutable via update_data
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    write_mass(w, flows_[slot]);
+    write_mass(w, reported_[slot]);
+    w.boolean(have_report_[slot]);
+  }
+}
+
+void FuMassHybrid::load_state(BinaryReader& r) {
+  PCF_CHECK_MSG(initialized_, "load_state before init");
+  neighbors_.load_state(r);
+  initial_ = read_mass(r);
+  for (std::size_t slot = 0; slot < flows_.size(); ++slot) {
+    flows_[slot] = read_mass(r);
+    reported_[slot] = read_mass(r);
+    have_report_[slot] = r.boolean();
+  }
+}
+
+}  // namespace pcf::core

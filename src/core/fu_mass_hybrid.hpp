@@ -1,0 +1,69 @@
+// Flow-Updating-meets-Mass-Distribution hybrid (Almeida, Baquero,
+// Farach-Colton, Jesus, Mosteiro — "Fault-Tolerant Aggregation:
+// Flow-Updating Meets Mass-Distribution"), gossip-paced variant.
+//
+// The hybrid keeps Flow Updating's bookkeeping — per-neighbor flows whose
+// mirror is overwritten with the exact negation on receipt, so message loss
+// and duplication never destroy mass — but replaces FU's neighborhood
+// averaging with Mass-Distribution's PAIRWISE step: each send halves the gap
+// between the sender's current mass and the receiver's last reported mass by
+// moving the difference through the edge flow,
+//
+//     Δ = (m_i − m̂_j) / 2,   f_{i,j} += Δ,   m_i' = m_i − Δ,
+//
+// and transmits (f_{i,j}, m_i'). When the report is current this is exactly
+// the two-node averaging that gives Mass-Distribution its convergence speed;
+// when it is stale the flow discipline still conserves Σ m exactly, which is
+// the paper's claim — MD speed with FU fault tolerance. Estimates are the
+// plain local-mass ratio (no fused override).
+//
+// Shares FU's exclusion rule: a down (or healed) link zeroes the edge flow
+// and forgets the report; both masses were already folded into the endpoints'
+// local masses.
+#pragma once
+
+#include <vector>
+
+#include "core/neighbor_set.hpp"
+#include "core/reducer.hpp"
+
+namespace pcf::core {
+
+class FuMassHybrid final : public Reducer {
+ public:
+  explicit FuMassHybrid(const ReducerConfig& config) : config_(config) {}
+
+  void init(NodeId self, std::span<const NodeId> neighbors, Mass initial) override;
+  [[nodiscard]] std::optional<Outgoing> make_message(Rng& rng) override;
+  [[nodiscard]] std::optional<Outgoing> make_message_to(NodeId target) override;
+  void on_receive(NodeId from, const Packet& packet) override;
+  /// The conserved quantity: v_i − Σ_j f_{i,j}.
+  [[nodiscard]] Mass local_mass() const override;
+  void on_link_down(NodeId j) override;
+  void on_link_up(NodeId j) override;
+  void update_data(const Mass& delta) override;
+  void save_state(BinaryWriter& w) const override;
+  void load_state(BinaryReader& r) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "fu-mass-hybrid"; }
+  [[nodiscard]] std::size_t live_degree() const noexcept override {
+    return neighbors_.live_count();
+  }
+  [[nodiscard]] double max_abs_flow_component() const noexcept override;
+  [[nodiscard]] std::size_t wire_masses() const noexcept override { return 2; }
+  bool corrupt_stored_flow(Rng& rng) override;
+  [[nodiscard]] std::size_t flows_toward(NodeId j, std::span<Mass> out) const override;
+  [[nodiscard]] Mass unreceived_mass(NodeId from, const Packet& packet) const override;
+
+ private:
+  [[nodiscard]] std::optional<Outgoing> send_to_slot(std::size_t slot);
+
+  ReducerConfig config_;
+  NeighborSet neighbors_;
+  Mass initial_;
+  std::vector<Mass> flows_;     // f_{i,j}
+  std::vector<Mass> reported_;  // m̂_j: the neighbor's last reported local mass
+  std::vector<bool> have_report_;
+  bool initialized_ = false;
+};
+
+}  // namespace pcf::core

@@ -1,6 +1,8 @@
 #include "core/reducer.hpp"
 
+#include "core/correction_allreduce.hpp"
 #include "core/flow_updating.hpp"
+#include "core/fu_mass_hybrid.hpp"
 #include "core/push_cancel_flow.hpp"
 #include "core/push_flow.hpp"
 #include "core/push_sum.hpp"
@@ -14,6 +16,8 @@ std::string_view to_string(Algorithm a) noexcept {
     case Algorithm::kPushFlow: return "push-flow";
     case Algorithm::kPushCancelFlow: return "push-cancel-flow";
     case Algorithm::kFlowUpdating: return "flow-updating";
+    case Algorithm::kCorrectionAllreduce: return "correction-allreduce";
+    case Algorithm::kFuMassHybrid: return "fu-mass-hybrid";
   }
   return "?";
 }
@@ -27,7 +31,13 @@ Algorithm parse_algorithm(std::string_view name) {
   if (name == "fu" || name == "flow-updating" || name == "flowupdating") {
     return Algorithm::kFlowUpdating;
   }
-  PCF_CHECK_MSG(false, "unknown algorithm '" << name << "' (want: ps|pf|pcf|fu)");
+  if (name == "corr" || name == "correction-allreduce" || name == "correctionallreduce") {
+    return Algorithm::kCorrectionAllreduce;
+  }
+  if (name == "fumd" || name == "fu-mass-hybrid" || name == "fumasshybrid") {
+    return Algorithm::kFuMassHybrid;
+  }
+  PCF_CHECK_MSG(false, "unknown algorithm '" << name << "' (want: ps|pf|pcf|fu|corr|fumd)");
   __builtin_unreachable();
 }
 
@@ -41,6 +51,8 @@ std::unique_ptr<Reducer> make_reducer(Algorithm algorithm, const ReducerConfig& 
     case Algorithm::kPushFlow: return std::make_unique<PushFlow>(config);
     case Algorithm::kPushCancelFlow: return std::make_unique<PushCancelFlow>(config);
     case Algorithm::kFlowUpdating: return std::make_unique<FlowUpdating>(config);
+    case Algorithm::kCorrectionAllreduce: return std::make_unique<CorrectionAllreduce>(config);
+    case Algorithm::kFuMassHybrid: return std::make_unique<FuMassHybrid>(config);
   }
   PCF_CHECK_MSG(false, "unhandled algorithm enum value");
   __builtin_unreachable();

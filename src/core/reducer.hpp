@@ -16,6 +16,7 @@
 
 #include "core/mass.hpp"
 #include "net/topology.hpp"
+#include "net/tree_schedule.hpp"
 #include "support/rng.hpp"
 
 namespace pcf {
@@ -45,15 +46,24 @@ struct Outgoing {
 };
 
 enum class Algorithm {
-  kPushSum,        ///< Kempe et al. 2003 — fast, zero fault tolerance
-  kPushFlow,       ///< Gansterer et al. 2011/12 — Fig. 1 of the paper
-  kPushCancelFlow, ///< this paper's contribution — Fig. 5
-  kFlowUpdating,   ///< Jesus et al. 2009 — averaging-only baseline
+  kPushSum,             ///< Kempe et al. 2003 — fast, zero fault tolerance
+  kPushFlow,            ///< Gansterer et al. 2011/12 — Fig. 1 of the paper
+  kPushCancelFlow,      ///< this paper's contribution — Fig. 5
+  kFlowUpdating,        ///< Jesus et al. 2009 — averaging-only baseline
+  kCorrectionAllreduce, ///< Küttler & Härtig — tree allreduce with corrections
+  kFuMassHybrid,        ///< Almeida et al. 2011 — FU flows at MD pairing speed
 };
 
 [[nodiscard]] std::string_view to_string(Algorithm a) noexcept;
-/// Parses "pushsum" | "pf" | "pcf" | "fu" (and long names).
+/// Parses "pushsum" | "pf" | "pcf" | "fu" | "corr" | "fumd" (and long names).
 [[nodiscard]] Algorithm parse_algorithm(std::string_view name);
+
+/// Whether the algorithm needs a resolved net::TreeSchedule in its
+/// ReducerConfig before reducers are constructed. The engines populate it
+/// from their topology when the caller left it empty.
+[[nodiscard]] constexpr bool needs_tree_schedule(Algorithm a) noexcept {
+  return a == Algorithm::kCorrectionAllreduce;
+}
 
 /// PCF bookkeeping variants (Section III-A of the paper).
 enum class PcfVariant {
@@ -75,6 +85,16 @@ struct ReducerConfig {
   /// PF ablation: maintain Σ flows in a cached accumulator instead of
   /// recomputing it per send (the paper notes both variants are inaccurate).
   bool pf_cached_flow_sum = false;
+  /// Correction allreduce: requested reduce-tree shape. kAuto selects from
+  /// the topology (star hub → star, id-order path → chain, heap edges →
+  /// binary, else BFS) — the Hoplite-style dynamic reduce-topology pick.
+  net::TreeKind tree_kind = net::TreeKind::kAuto;
+  /// The resolved tree schedule, shared read-only by every node. Engines
+  /// build it from their topology when an algorithm that needs it (see
+  /// needs_tree_schedule) is selected and this is still empty. Derived state:
+  /// a pure function of topology × tree_kind, so checkpoint compatibility
+  /// hashes tree_kind, never the schedule itself.
+  std::shared_ptr<const net::TreeSchedule> tree;
 };
 
 /// Per-node protocol state machine. Not thread-safe; the threaded runtime

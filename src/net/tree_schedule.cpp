@@ -1,0 +1,168 @@
+#include "net/tree_schedule.hpp"
+
+#include <limits>
+#include <optional>
+
+#include "support/check.hpp"
+
+namespace pcf::net {
+
+namespace {
+
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+/// Smallest-id node adjacent to every other node, if one exists.
+std::optional<NodeId> find_hub(const Topology& t) {
+  for (NodeId i = 0; i < t.size(); ++i) {
+    if (t.degree(i) == t.size() - 1) return i;
+  }
+  return std::nullopt;
+}
+
+bool has_id_order_path(const Topology& t) {
+  for (NodeId i = 0; i + 1 < t.size(); ++i) {
+    if (!t.has_edge(i, i + 1)) return false;
+  }
+  return true;
+}
+
+bool has_heap_edges(const Topology& t) {
+  for (NodeId i = 1; i < t.size(); ++i) {
+    if (!t.has_edge(i, (i - 1) / 2)) return false;
+  }
+  return true;
+}
+
+/// Parents from the depth map: each non-root attaches to the (depth, id)-
+/// minimal neighbor of strictly smaller depth. This is the SAME rule the
+/// correction reducer applies at runtime over its live neighbor set, so the
+/// statically published tree and the fault-free runtime tree coincide
+/// exactly — including on topologies with chord edges that skip layers.
+void derive_parents(const Topology& t, TreeSchedule& s) {
+  s.parent.assign(t.size(), s.root);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    if (i == s.root) continue;
+    NodeId best = i;
+    std::uint32_t best_depth = s.depth[i];
+    for (const NodeId j : t.neighbors(i)) {  // sorted: first hit wins ties by id
+      if (s.depth[j] < best_depth) {
+        best = j;
+        best_depth = s.depth[j];
+      }
+    }
+    PCF_CHECK_MSG(best != i, "tree schedule: node " << i << " has no upward neighbor");
+    s.parent[i] = best;
+  }
+}
+
+TreeSchedule make_star(const Topology& t, NodeId hub) {
+  TreeSchedule s;
+  s.kind = TreeKind::kStar;
+  s.root = hub;
+  s.depth.assign(t.size(), 1);
+  s.depth[hub] = 0;
+  derive_parents(t, s);
+  return s;
+}
+
+TreeSchedule make_chain(const Topology& t) {
+  TreeSchedule s;
+  s.kind = TreeKind::kChain;
+  s.root = 0;
+  s.depth.resize(t.size());
+  for (NodeId i = 0; i < t.size(); ++i) s.depth[i] = i;
+  derive_parents(t, s);
+  return s;
+}
+
+TreeSchedule make_binary(const Topology& t) {
+  TreeSchedule s;
+  s.kind = TreeKind::kBinary;
+  s.root = 0;
+  s.depth.resize(t.size());
+  s.depth[0] = 0;
+  for (NodeId i = 1; i < t.size(); ++i) s.depth[i] = s.depth[(i - 1) / 2] + 1;
+  derive_parents(t, s);
+  return s;
+}
+
+TreeSchedule make_bfs(const Topology& t) {
+  TreeSchedule s;
+  s.kind = TreeKind::kBfs;
+  s.root = 0;
+  s.depth.assign(t.size(), kUnvisited);
+  std::vector<NodeId> queue;
+  queue.reserve(t.size());
+  queue.push_back(0);
+  s.depth[0] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId i = queue[head];
+    for (const NodeId j : t.neighbors(i)) {
+      if (s.depth[j] != kUnvisited) continue;
+      s.depth[j] = s.depth[i] + 1;
+      queue.push_back(j);
+    }
+  }
+  for (NodeId i = 0; i < t.size(); ++i) {
+    PCF_CHECK_MSG(s.depth[i] != kUnvisited, "tree schedule requires a connected topology");
+  }
+  derive_parents(t, s);
+  return s;
+}
+
+}  // namespace
+
+std::string_view to_string(TreeKind k) noexcept {
+  switch (k) {
+    case TreeKind::kAuto: return "auto";
+    case TreeKind::kChain: return "chain";
+    case TreeKind::kBinary: return "binary";
+    case TreeKind::kStar: return "star";
+    case TreeKind::kBfs: return "bfs";
+  }
+  return "?";
+}
+
+TreeKind parse_tree_kind(std::string_view name) {
+  if (name == "auto") return TreeKind::kAuto;
+  if (name == "chain") return TreeKind::kChain;
+  if (name == "binary") return TreeKind::kBinary;
+  if (name == "star") return TreeKind::kStar;
+  if (name == "bfs") return TreeKind::kBfs;
+  PCF_CHECK_MSG(false, "unknown tree kind '" << name << "' (want: auto|chain|binary|star|bfs)");
+  __builtin_unreachable();
+}
+
+TreeSchedule build_tree_schedule(const Topology& topology, TreeKind kind) {
+  PCF_CHECK_MSG(topology.size() > 0, "tree schedule over an empty topology");
+  switch (kind) {
+    case TreeKind::kAuto: {
+      if (const auto hub = find_hub(topology)) return make_star(topology, *hub);
+      if (has_id_order_path(topology)) return make_chain(topology);
+      if (has_heap_edges(topology)) return make_binary(topology);
+      return make_bfs(topology);
+    }
+    case TreeKind::kStar: {
+      const auto hub = find_hub(topology);
+      PCF_CHECK_MSG(hub.has_value(),
+                    "star tree schedule: topology '" << topology.name() << "' has no hub");
+      return make_star(topology, *hub);
+    }
+    case TreeKind::kChain:
+      PCF_CHECK_MSG(has_id_order_path(topology), "chain tree schedule: topology '"
+                                                     << topology.name()
+                                                     << "' has no id-order path");
+      return make_chain(topology);
+    case TreeKind::kBinary:
+      PCF_CHECK_MSG(has_heap_edges(topology), "binary tree schedule: topology '"
+                                                  << topology.name()
+                                                  << "' lacks heap-order edges");
+      return make_binary(topology);
+    case TreeKind::kBfs:
+      return make_bfs(topology);
+  }
+  PCF_CHECK_MSG(false, "unhandled tree kind");
+  __builtin_unreachable();
+}
+
+}  // namespace pcf::net

@@ -1,0 +1,57 @@
+// Spanning-tree reduce schedules over a static Topology.
+//
+// Tree-structured reductions (correction-based Reduce/Allreduce, Küttler &
+// Härtig) need every node to know its parent toward the root and the tree
+// depth of its neighbors. This module builds that schedule centrally, once,
+// from the Topology — the same dynamic reduce-topology selection idea as
+// Hoplite's reduce_dependency: pick the specialized shape (star, chain,
+// heap-order binary tree) when the graph supports it, fall back to a BFS
+// spanning tree otherwise. Every tree edge is a topology edge, so tree
+// messages travel over the same links the gossip algorithms use.
+//
+// The depth map is the load-bearing invariant: depth[parent[i]] ==
+// depth[i] - 1 for every non-root, so "re-attach to a live neighbor of
+// strictly smaller depth" (the correction rule on parent loss) can never
+// form a cycle.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace pcf::net {
+
+enum class TreeKind : std::uint8_t {
+  kAuto,   ///< select from the topology shape (star > chain > binary > BFS)
+  kChain,  ///< id-order path layering, depth[i] = i (requires edges (i-1, i))
+  kBinary, ///< heap-order layering, depth[i] = depth[(i-1)/2] + 1
+  kStar,   ///< a universal hub is the root, everyone else at depth 1
+  kBfs,    ///< BFS layering from node 0
+};
+
+[[nodiscard]] std::string_view to_string(TreeKind k) noexcept;
+/// Parses "auto" | "chain" | "binary" | "star" | "bfs".
+[[nodiscard]] TreeKind parse_tree_kind(std::string_view name);
+
+/// A rooted spanning tree of a Topology, shared read-only by all nodes.
+/// Parents are derived from the depth map: each non-root attaches to its
+/// (depth, id)-minimal neighbor of strictly smaller depth — the identical
+/// rule the correction reducer re-applies over its LIVE neighbors, so the
+/// published tree is exactly the fault-free runtime tree.
+struct TreeSchedule {
+  TreeKind kind = TreeKind::kBfs;       ///< resolved shape (never kAuto)
+  NodeId root = 0;
+  std::vector<NodeId> parent;           ///< parent[i]; parent[root] == root
+  std::vector<std::uint32_t> depth;     ///< layer index; decreases toward root
+};
+
+/// Builds the schedule for `kind` over `topology`. kAuto resolves to the
+/// first shape the topology supports; an explicitly requested shape the
+/// topology cannot carry (no hub, missing path/heap edges) is a checked
+/// configuration error. The topology must be connected.
+[[nodiscard]] TreeSchedule build_tree_schedule(const Topology& topology,
+                                               TreeKind kind = TreeKind::kAuto);
+
+}  // namespace pcf::net

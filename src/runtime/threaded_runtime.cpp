@@ -21,6 +21,11 @@ ThreadedRuntime::ThreadedRuntime(net::Topology topology,
   }
   config_.num_threads = std::min(config_.num_threads, topology.size());
 
+  if (core::needs_tree_schedule(config_.algorithm) && !config_.reducer.tree) {
+    config_.reducer.tree = std::make_shared<const net::TreeSchedule>(
+        net::build_tree_schedule(topology, config_.reducer.tree_kind));
+  }
+
   const Rng base(config_.seed);
   for (net::NodeId i = 0; i < topology.size(); ++i) {
     nodes_.push_back(core::make_reducer(config_.algorithm, config_.reducer));

@@ -91,6 +91,12 @@ void hash_construction_inputs(Fnv& h, const net::Topology& topology,
   h.add(static_cast<std::uint64_t>(reducer.aggregate));
   h.add(static_cast<std::uint64_t>(reducer.pcf_variant));
   h.add(reducer.pf_cached_flow_sum ? 1 : 0);
+  // The resolved tree schedule is a pure function of (topology, tree_kind), so
+  // hashing the kind pins it. Only non-default kinds contribute — keeping every
+  // pre-roster pinned golden hash byte-identical.
+  if (reducer.tree_kind != net::TreeKind::kAuto) {
+    h.add(static_cast<std::uint64_t>(reducer.tree_kind));
+  }
   h.add(topology.size());
   for (std::size_t i = 0; i < topology.size(); ++i) {
     const auto nbrs = topology.neighbors(static_cast<NodeId>(i));

@@ -20,6 +20,8 @@ const char* cli_name(core::Algorithm algorithm) {
     case core::Algorithm::kPushFlow: return "pf";
     case core::Algorithm::kPushCancelFlow: return "pcf";
     case core::Algorithm::kFlowUpdating: return "fu";
+    case core::Algorithm::kCorrectionAllreduce: return "corr";
+    case core::Algorithm::kFuMassHybrid: return "fumd";
   }
   return "?";
 }
@@ -36,6 +38,19 @@ std::string format_prob(double v) {
 bool algorithm_trusted(core::Algorithm algorithm, const FaultPlan& plan) {
   if (plan.bit_flip_prob > 0.0 || plan.state_flip_prob > 0.0) return false;
   if (algorithm == core::Algorithm::kPushSum) return plan.empty();
+  if (algorithm == core::Algorithm::kCorrectionAllreduce) {
+    // The tree algorithm is EXACT whenever the schedule stays intact:
+    // absolute idempotent reports self-heal loss, duplication, reorder and
+    // data updates. Any exclusion (failure, crash, false detect, churn) can
+    // orphan a subtree — re-attachment needs a live neighbor at strictly
+    // smaller depth, which general topologies don't guarantee — and fragment
+    // roots then honestly report fragment aggregates. That degradation is the
+    // paper's trade-off, not an implementation bug, so the oracle only trusts
+    // the fault-free (plus message-level noise) cells.
+    return plan.link_failures.empty() && plan.node_crashes.empty() &&
+           plan.node_rejoins.empty() && plan.false_detects.empty() &&
+           plan.churn_fail_prob == 0.0;
+  }
   if (algorithm == core::Algorithm::kPushCancelFlow &&
       (!plan.false_detects.empty() || plan.churn_fail_prob > 0.0)) {
     // Repeated (or falsely detected) link exclusions can interrupt PCF
@@ -77,8 +92,9 @@ DifferentialResult run_differential(const DifferentialScenario& scenario,
                                     const DifferentialConfig& config) {
   std::vector<core::Algorithm> algorithms = config.algorithms;
   if (algorithms.empty()) {
-    algorithms = {core::Algorithm::kPushSum, core::Algorithm::kPushFlow,
-                  core::Algorithm::kPushCancelFlow, core::Algorithm::kFlowUpdating};
+    algorithms = {core::Algorithm::kPushSum,        core::Algorithm::kPushFlow,
+                  core::Algorithm::kPushCancelFlow, core::Algorithm::kFlowUpdating,
+                  core::Algorithm::kCorrectionAllreduce, core::Algorithm::kFuMassHybrid};
   }
 
   // RNG derivation mirrors src/tools/pcflow_cli.cpp so repro commands replay

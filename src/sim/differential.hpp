@@ -34,7 +34,7 @@ struct DifferentialScenario {
 };
 
 struct DifferentialConfig {
-  /// Algorithms to replay; empty selects all four.
+  /// Algorithms to replay; empty selects the full roster.
   std::vector<core::Algorithm> algorithms;
   /// A trusted algorithm must converge to within this relative error of the
   /// exact reference…

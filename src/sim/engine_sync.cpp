@@ -123,6 +123,11 @@ SyncEngine::SyncEngine(net::Topology topology, std::span<const core::Mass> initi
   PCF_CHECK_MSG(initial.size() == topology.size(), "one initial mass per node required");
   PCF_CHECK_MSG(topology.is_connected(), "topology must be connected");
 
+  if (core::needs_tree_schedule(config_.algorithm) && !config_.reducer.tree) {
+    config_.reducer.tree = std::make_shared<const net::TreeSchedule>(
+        net::build_tree_schedule(topology_, config_.reducer.tree_kind));
+  }
+
   const Rng base(config_.seed);
   nodes_.reserve(topology.size());
   node_rngs_.reserve(topology.size());
@@ -664,6 +669,16 @@ void SyncEngine::dispatch_send_phase() {
       run_gossip(ops, sharded);
       return;
     }
+    case core::Algorithm::kCorrectionAllreduce: {
+      ArenaOps<core::Algorithm::kCorrectionAllreduce> ops{*this};
+      run_gossip(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kFuMassHybrid: {
+      ArenaOps<core::Algorithm::kFuMassHybrid> ops{*this};
+      run_gossip(ops, sharded);
+      return;
+    }
   }
 }
 
@@ -695,6 +710,16 @@ void SyncEngine::dispatch_drain_phase() {
     }
     case core::Algorithm::kFlowUpdating: {
       ArenaOps<core::Algorithm::kFlowUpdating> ops{*this};
+      run_drain(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kCorrectionAllreduce: {
+      ArenaOps<core::Algorithm::kCorrectionAllreduce> ops{*this};
+      run_drain(ops, sharded);
+      return;
+    }
+    case core::Algorithm::kFuMassHybrid: {
+      ArenaOps<core::Algorithm::kFuMassHybrid> ops{*this};
       run_drain(ops, sharded);
       return;
     }

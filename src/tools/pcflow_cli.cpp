@@ -147,9 +147,11 @@ void define_scenario_flags(CliFlags& flags) {
   flags.define("topology", std::string("hypercube:6"),
                "bus:N ring:N grid:RxC torus2d:RxC torus3d:L hypercube:D complete:N star:N "
                "tree:N regular:N:D er:N:P");
-  flags.define("algorithm", std::string("pcf"), "ps | pf | pcf | fu");
+  flags.define("algorithm", std::string("pcf"), "ps | pf | pcf | fu | corr | fumd");
   flags.define("aggregate", std::string("avg"), "avg | sum");
   flags.define("variant", std::string("robust"), "PCF bookkeeping: fast | robust");
+  flags.define("tree", std::string("auto"),
+               "corr schedule shape: auto | chain | binary | star | bfs");
   flags.define("loss", 0.0, "message loss probability");
   flags.define("flip", 0.0, "per-message bit flip probability");
   flags.define("detection-delay", 0.0, "failure detector delay in rounds");
@@ -185,6 +187,7 @@ Scenario build_scenario(const CliFlags& flags) {
   PCF_CHECK_MSG(variant == "fast" || variant == "robust", "--variant wants fast|robust");
   s.config.reducer.pcf_variant =
       variant == "fast" ? core::PcfVariant::kFast : core::PcfVariant::kRobust;
+  s.config.reducer.tree_kind = net::parse_tree_kind(flags.get_string("tree"));
   s.config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   const std::string& engine_name = flags.get_string("engine");
   PCF_CHECK_MSG(engine_name == "legacy" || engine_name == "arena", "--engine wants legacy|arena");

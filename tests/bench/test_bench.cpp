@@ -31,7 +31,7 @@ TEST(MakeSuite, FastSuiteCoversAllAlgorithmsAndFaults) {
     EXPECT_GT(s.max_rounds, 0u);
     EXPECT_GT(s.tol, 0.0);
   }
-  EXPECT_EQ(algorithms, (std::set<std::string>{"ps", "pf", "pcf", "fu"}));
+  EXPECT_EQ(algorithms, (std::set<std::string>{"ps", "pf", "pcf", "fu", "corr", "fumd"}));
   EXPECT_TRUE(profiles.count("none"));
   EXPECT_TRUE(profiles.count("loss"));
   EXPECT_TRUE(profiles.count("crash"));
@@ -127,7 +127,10 @@ TEST(ReportToJson, EmitsVersionedSchemaWithoutExecutionParameters) {
   options.include_timing = false;
   const auto json = report_to_json(run_bench(options));
   EXPECT_NE(json.find("\"schema\": \"pcflow-bench\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  // v3: the algorithm enum grew corr and fumd (roster cells below).
+  EXPECT_NE(json.find("\"algorithm\": \"corr\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\": \"fumd\""), std::string::npos);
   // v2 additions: the engine/shard/delivery cell parameters are part of the
   // scenario identity (CI gates diff on them).
   EXPECT_NE(json.find("\"engine\": \"legacy\""), std::string::npos);

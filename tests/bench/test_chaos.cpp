@@ -34,7 +34,7 @@ TEST(MakeChaosCells, FullGridCoversAllAlgorithmsAndRampsIntensity) {
     algorithms.insert(c.algorithm);
     intensities.insert(c.intensity);
   }
-  EXPECT_EQ(algorithms, (std::set<std::string>{"ps", "pf", "pcf", "fu"}));
+  EXPECT_EQ(algorithms, (std::set<std::string>{"ps", "pf", "pcf", "fu", "corr", "fumd"}));
   EXPECT_GE(intensities.size(), 3u);  // a ramp, not a single operating point
   EXPECT_GT(cells.size(), make_chaos_cells(true).size());
 }
@@ -124,7 +124,7 @@ TEST(ChaosReportToJson, EmitsVersionedSchema) {
   const auto report = run_chaos(options);
   const auto json = chaos_report_to_json(report);
   EXPECT_NE(json.find("\"schema\": \"pcflow-chaos\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"mode\": \"fast\""), std::string::npos);
   EXPECT_NE(json.find("\"cells\": ["), std::string::npos);
   EXPECT_NE(json.find("\"restore_cells\": ["), std::string::npos);

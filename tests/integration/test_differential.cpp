@@ -1,15 +1,20 @@
-// Differential oracle harness: the same seeded scenario replayed through all
-// four reduction algorithms, cross-checked against each other and against the
+// Differential oracle harness: the same seeded scenario replayed through the
+// full algorithm roster, cross-checked against each other and against the
 // oracle's exact reference (see src/sim/differential.hpp). The matrix here is
 // the acceptance bar: every algorithm × topology × fault-class combination
 // must agree exactly where the paper says it must.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "sim/differential.hpp"
+#include "sim/engine_sync.hpp"
 #include "sim/fault_spec.hpp"
+#include "sim/reduce.hpp"
+#include "test_util.hpp"
 
 namespace pcf {
 namespace {
@@ -65,7 +70,7 @@ class DifferentialMatrix : public ::testing::TestWithParam<MatrixCase> {};
 TEST_P(DifferentialMatrix, NoFault) {
   const auto result = run_differential(make_scenario(GetParam().topology, FaultClass::kNone, 0));
   EXPECT_FALSE(result.diverged()) << join(result.divergences);
-  ASSERT_EQ(result.outcomes.size(), 4u);
+  ASSERT_EQ(result.outcomes.size(), 6u);  // the full roster replays by default
   for (const auto& outcome : result.outcomes) {
     EXPECT_TRUE(outcome.trusted);  // nothing injected: even push-sum is exact
     EXPECT_TRUE(outcome.converged);
@@ -89,7 +94,12 @@ TEST_P(DifferentialMatrix, LateLinkFailure) {
       make_scenario(GetParam().topology, FaultClass::kLateLinkFailure, GetParam().failure_time));
   EXPECT_FALSE(result.diverged()) << join(result.divergences);
   for (const auto& outcome : result.outcomes) {
-    EXPECT_EQ(outcome.trusted, outcome.algorithm != Algorithm::kPushSum);
+    // Mass-conserving flow algorithms ride out the cut; push-sum loses its
+    // in-flight share, and an exclusion can orphan a correction subtree
+    // (fragment roots honestly report fragment aggregates) — the paper's
+    // trade-off, encoded as "untrusted under exclusions".
+    EXPECT_EQ(outcome.trusted, outcome.algorithm != Algorithm::kPushSum &&
+                                   outcome.algorithm != Algorithm::kCorrectionAllreduce);
   }
 }
 
@@ -133,10 +143,50 @@ TEST(Differential, TrustTableMatchesThePaper) {
 
   sim::FaultPlan corrupting;
   corrupting.bit_flip_prob = 1e-3;
-  for (const auto algorithm : {Algorithm::kPushSum, Algorithm::kPushFlow,
-                               Algorithm::kPushCancelFlow, Algorithm::kFlowUpdating}) {
+  for (const auto algorithm :
+       {Algorithm::kPushSum, Algorithm::kPushFlow, Algorithm::kPushCancelFlow,
+        Algorithm::kFlowUpdating, Algorithm::kCorrectionAllreduce, Algorithm::kFuMassHybrid}) {
     EXPECT_FALSE(algorithm_trusted(algorithm, corrupting));
   }
+}
+
+TEST(Differential, RosterTrustTableEncodesTheTradeOff) {
+  // The two roster additions split exactly along the paper's axis:
+  // correction allreduce is EXACT under message-level faults (loss,
+  // duplication, reordering, even live data updates) but fragments under any
+  // exclusion; the FU/MD hybrid inherits FU's flow-discipline trust.
+  sim::FaultPlan clean;
+  EXPECT_TRUE(algorithm_trusted(Algorithm::kCorrectionAllreduce, clean));
+  EXPECT_TRUE(algorithm_trusted(Algorithm::kFuMassHybrid, clean));
+
+  sim::FaultPlan messaging;
+  messaging.message_loss_prob = 0.2;
+  messaging.duplicate_prob = 0.1;
+  messaging.reorder_prob = 0.1;
+  messaging.data_updates.push_back({10.0, 0, core::Mass::scalar(1.0, 0.0)});
+  EXPECT_TRUE(algorithm_trusted(Algorithm::kCorrectionAllreduce, messaging));
+  EXPECT_TRUE(algorithm_trusted(Algorithm::kFuMassHybrid, messaging));
+
+  sim::FaultPlan cut;
+  cut.link_failures.push_back({100.0, 0, 1});
+  EXPECT_FALSE(algorithm_trusted(Algorithm::kCorrectionAllreduce, cut));
+  EXPECT_TRUE(algorithm_trusted(Algorithm::kFuMassHybrid, cut));
+
+  sim::FaultPlan crash;
+  crash.node_crashes.push_back({100.0, 3});
+  EXPECT_FALSE(algorithm_trusted(Algorithm::kCorrectionAllreduce, crash));
+  EXPECT_TRUE(algorithm_trusted(Algorithm::kFuMassHybrid, crash));
+
+  sim::FaultPlan flapping;
+  flapping.false_detects.push_back({100.0, 0, 1, 10.0});
+  EXPECT_FALSE(algorithm_trusted(Algorithm::kCorrectionAllreduce, flapping));
+  EXPECT_TRUE(algorithm_trusted(Algorithm::kFuMassHybrid, flapping));
+
+  sim::FaultPlan churning;
+  churning.churn_fail_prob = 0.01;
+  churning.churn_heal_rate = 0.2;
+  EXPECT_FALSE(algorithm_trusted(Algorithm::kCorrectionAllreduce, churning));
+  EXPECT_TRUE(algorithm_trusted(Algorithm::kFuMassHybrid, churning));
 }
 
 TEST(Differential, ReproCommandRoundTripsThroughTheFaultSpec) {
@@ -207,6 +257,83 @@ TEST(Differential, SurvivorsReconvergeAfterACrash) {
   for (const auto& outcome : result.outcomes) {
     if (outcome.trusted) {
       EXPECT_TRUE(outcome.converged);
+    }
+  }
+}
+
+// ----------------------------------------------------- fault-plan corpus
+
+/// A corpus of named fault plans spanning every fault class the engines
+/// model. Each is replayed through the FULL algorithm roster in BOTH delivery
+/// modes; the replay must be a pure function of the seed (bitwise-identical
+/// estimates across repeats) with the invariant checkers armed throughout.
+std::vector<std::pair<std::string, sim::FaultPlan>> fault_plan_corpus() {
+  std::vector<std::pair<std::string, sim::FaultPlan>> corpus;
+  corpus.emplace_back("clean", sim::FaultPlan{});
+  {
+    sim::FaultPlan p;
+    p.message_loss_prob = 0.1;
+    p.duplicate_prob = 0.1;
+    p.reorder_prob = 0.1;
+    corpus.emplace_back("noisy_delivery", p);
+  }
+  {
+    sim::FaultPlan p;
+    p.link_failures.push_back({20.0, 0, 1});
+    p.link_heals.push_back({60.0, 0, 1});
+    p.false_detects.push_back({40.0, 2, 3, 10.0});
+    p.detection_delay = 1.0;
+    corpus.emplace_back("lifecycle_links", p);
+  }
+  {
+    sim::FaultPlan p;
+    p.node_crashes.push_back({25.0, 5});
+    p.node_rejoins.push_back({70.0, 5});
+    p.data_updates.push_back({45.0, 2, core::Mass::scalar(0.5, 0.0)});
+    corpus.emplace_back("crash_rejoin_update", p);
+  }
+  {
+    sim::FaultPlan p;
+    p.churn_fail_prob = 0.02;
+    p.churn_heal_rate = 0.25;
+    corpus.emplace_back("churn", p);
+  }
+  return corpus;
+}
+
+constexpr Algorithm kRoster[] = {Algorithm::kPushSum,          Algorithm::kPushFlow,
+                                 Algorithm::kPushCancelFlow,   Algorithm::kFlowUpdating,
+                                 Algorithm::kCorrectionAllreduce, Algorithm::kFuMassHybrid};
+
+TEST(Differential, FaultPlanCorpusReplaysDeterministicallyInBothDeliveryModes) {
+  const auto t = net::Topology::grid2d(3, 4);
+  for (const auto& [name, plan] : fault_plan_corpus()) {
+    for (const Algorithm algorithm : kRoster) {
+      for (const sim::Delivery delivery : {sim::Delivery::kSequential, sim::Delivery::kCrossing}) {
+        const auto run_once = [&] {
+          const auto values = test::random_values(t.size(), 17 ^ 0xabcdef);
+          sim::SyncEngineConfig cfg;
+          cfg.algorithm = algorithm;
+          cfg.faults = plan;
+          cfg.seed = 17;
+          cfg.delivery = delivery;
+          cfg.invariants.enabled = true;
+          sim::SyncEngine engine(t, sim::masses_from_values(values, core::Aggregate::kAverage),
+                                 cfg);
+          engine.run(150);  // armed checkers: any invariant violation throws
+          return engine.estimates();
+        };
+        const auto first = run_once();
+        const auto second = run_once();
+        EXPECT_EQ(first, second) << name << " / " << core::to_string(algorithm) << " / "
+                                 << (delivery == sim::Delivery::kSequential ? "sequential"
+                                                                            : "crossing");
+        for (const double e : first) {
+          if (!std::isnan(e)) {
+            EXPECT_TRUE(std::isfinite(e));
+          }
+        }
+      }
     }
   }
 }

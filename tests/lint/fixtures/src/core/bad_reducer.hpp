@@ -30,3 +30,18 @@ class Unrelated {  // clean: not a Reducer
  public:
   void nothing();
 };
+
+// The roster-shaped cases: missing exactly ONE hook must still be flagged —
+// a tree reducer that handles link churn but ignores live data updates (or
+// vice versa) is precisely the half-implemented state R1 exists to catch.
+class TreeishReducer : public Reducer {  // R1 (update_data missing)
+ public:
+  void on_link_down(NodeId j) override;
+  void on_link_up(NodeId j) override;
+};
+
+class HybridishReducer : public Reducer {  // R1 (on_link_up missing)
+ public:
+  void on_link_down(NodeId j) override;
+  void update_data(const Mass& delta) override;
+};

@@ -82,6 +82,8 @@ std::vector<EquivCase> equiv_cases() {
       {Algorithm::kPushCancelFlow, PcfVariant::kRobust, false, "pcf_robust"},
       {Algorithm::kPushCancelFlow, PcfVariant::kFast, false, "pcf_fast"},
       {Algorithm::kFlowUpdating, PcfVariant::kRobust, false, "fu"},
+      {Algorithm::kCorrectionAllreduce, PcfVariant::kRobust, false, "corr"},
+      {Algorithm::kFuMassHybrid, PcfVariant::kRobust, false, "fumd"},
   };
 }
 

@@ -27,8 +27,9 @@ namespace {
 using core::Aggregate;
 using core::Algorithm;
 
-constexpr Algorithm kAllAlgorithms[] = {Algorithm::kPushSum, Algorithm::kPushFlow,
-                                        Algorithm::kPushCancelFlow, Algorithm::kFlowUpdating};
+constexpr Algorithm kAllAlgorithms[] = {Algorithm::kPushSum,          Algorithm::kPushFlow,
+                                        Algorithm::kPushCancelFlow,   Algorithm::kFlowUpdating,
+                                        Algorithm::kCorrectionAllreduce, Algorithm::kFuMassHybrid};
 
 /// A faulted lifecycle: a cut, a crash, a false positive, a live data update,
 /// the rejoin and the heal — every fault-progress cursor the checkpoint
@@ -254,6 +255,54 @@ TEST(CheckpointReject, MismatchedEngineAlgorithmSeedTopologyAndKind) {
   EXPECT_THROW(sync_fresh.restore(async_blob), CheckpointError);
 }
 
+TEST(CheckpointReject, MismatchedAlgorithmAcrossRoster) {
+  // The roster additions must be just as un-confusable as the original four:
+  // every pair of distinct algorithms refuses to cross-restore.
+  const auto t = net::Topology::ring(12);
+  for (const Algorithm saved : kAllAlgorithms) {
+    auto engine = make_sync(t, saved, EngineMode::kLegacy, lifecycle_plan());
+    engine.run(4);
+    const std::string blob = engine.save_checkpoint();
+    for (const Algorithm restored : kAllAlgorithms) {
+      auto fresh = make_sync(t, restored, EngineMode::kLegacy, lifecycle_plan());
+      if (restored == saved) {
+        EXPECT_NO_THROW(fresh.restore(blob));
+      } else {
+        EXPECT_THROW(fresh.restore(blob), CheckpointError)
+            << core::to_string(saved) << " blob restored into a " << core::to_string(restored)
+            << " engine";
+      }
+    }
+  }
+}
+
+TEST(CheckpointReject, MismatchedTreeKind) {
+  // An explicitly requested tree shape is part of the construction inputs:
+  // restoring its blob into an engine with a different (or default-auto)
+  // shape must refuse. kAuto itself is deliberately NOT hashed, so blobs
+  // saved before the roster existed keep restoring.
+  const auto t = net::Topology::ring(12);
+  const auto values = test::random_values(t.size(), 3 ^ 0xabcdef);
+  const auto masses = masses_from_values(values, Aggregate::kAverage);
+  const auto engine_with = [&](net::TreeKind kind) {
+    SyncEngineConfig cfg;
+    cfg.algorithm = Algorithm::kCorrectionAllreduce;
+    cfg.seed = 3;
+    cfg.invariants.enabled = true;
+    cfg.reducer.tree_kind = kind;
+    return SyncEngine(t, masses, cfg);
+  };
+  auto bfs = engine_with(net::TreeKind::kBfs);
+  bfs.run(4);
+  const std::string blob = bfs.save_checkpoint();
+  auto chain = engine_with(net::TreeKind::kChain);
+  EXPECT_THROW(chain.restore(blob), CheckpointError);
+  auto auto_kind = engine_with(net::TreeKind::kAuto);
+  EXPECT_THROW(auto_kind.restore(blob), CheckpointError);
+  auto bfs_again = engine_with(net::TreeKind::kBfs);
+  EXPECT_NO_THROW(bfs_again.restore(blob));
+}
+
 // ------------------------------------------------------------------- header
 
 TEST(CheckpointPeek, ReportsHeaderFieldsWithoutAnEngine) {
@@ -270,7 +319,7 @@ TEST(CheckpointPeek, ReportsHeaderFieldsWithoutAnEngine) {
   EXPECT_EQ(info.nodes, 12u);
   EXPECT_EQ(info.dim, 1u);
   EXPECT_EQ(info.position, 9.0);
-  EXPECT_THROW(peek_checkpoint("not a checkpoint"), CheckpointError);
+  EXPECT_THROW((void)peek_checkpoint("not a checkpoint"), CheckpointError);
 }
 
 // ------------------------------------------------------------- golden format
@@ -293,6 +342,31 @@ TEST(CheckpointGolden, FormatHashIsPinned) {
   }
   EXPECT_EQ(h, 0xf4fff9a01cdd0cacULL) << "checkpoint format drifted (blob is " << blob.size()
                        << " bytes) — bump kCheckpointVersion and re-pin this hash";
+}
+
+std::uint64_t fnv1a(const std::string& blob) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : blob) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(CheckpointGolden, RosterCodecHashesArePinned) {
+  // Same pinning discipline for the roster additions' state codecs
+  // (correction-allreduce: received/child/global view; hybrid: FU-shaped
+  // flow/report rows). A changed hash means the on-disk layout drifted.
+  auto corr = make_sync(net::Topology::ring(8), Algorithm::kCorrectionAllreduce,
+                        EngineMode::kLegacy, lifecycle_plan(), 7);
+  corr.run(10);
+  EXPECT_EQ(fnv1a(corr.save_checkpoint(CheckpointMode::kFull)), 0x11eec8ea75ca6f8dULL)
+      << "correction-allreduce checkpoint codec drifted — bump kCheckpointVersion and re-pin";
+  auto fumd = make_sync(net::Topology::ring(8), Algorithm::kFuMassHybrid, EngineMode::kLegacy,
+                        lifecycle_plan(), 7);
+  fumd.run(10);
+  EXPECT_EQ(fnv1a(fumd.save_checkpoint(CheckpointMode::kFull)), 0x308ba8a18f34d5c1ULL)
+      << "fu-mass-hybrid checkpoint codec drifted — bump kCheckpointVersion and re-pin";
 }
 
 }  // namespace

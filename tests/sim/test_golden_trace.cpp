@@ -60,6 +60,81 @@ TEST(GoldenTrace, PcfOnTheBusCaseStudyIsBitStable) {
   }
 }
 
+// Correction allreduce, bus(8) (chain tree rooted at node 0), seed 1,
+// sequential delivery, average. The early rows show the protocol's transient
+// honestly: the root's FIRST published global view is its own input (9), and
+// that stale view reaches the far leaf before the corrected one does — the
+// periodic absolute resends then overwrite it (error is relative to the
+// target 2, hence 3.5 = |9-2|/2 while the leaf still holds the stale view).
+constexpr std::array<GoldenRow, 12> kGoldenCorrection{{
+    {9, 1, 3.5},
+    {3.6666666666666665, 1, 3.5},
+    {3.6666666666666665, 1, 3.5},
+    {3.6666666666666665, 1, 3.5},
+    {3.6666666666666665, 9, 3.5},
+    {3.6666666666666665, 9, 3.5},
+    {3.6666666666666665, 9, 3.5},
+    {2, 9, 3.5},
+    {2, 9, 3.5},
+    {2, 9, 3.5},
+    {2, 9, 3.5},
+    {2, 9, 3.5},
+}};
+
+TEST(GoldenTrace, CorrectionAllreduceOnTheBusCaseStudyIsBitStable) {
+  const auto masses = test::bus_case_study_masses(8);
+  sim::SyncEngineConfig config;
+  config.algorithm = core::Algorithm::kCorrectionAllreduce;
+  config.seed = 1;
+  config.invariants.enabled = true;
+  sim::SyncEngine engine(net::Topology::bus(8), masses, config);
+
+  for (std::size_t round = 0; round < kGoldenCorrection.size(); ++round) {
+    engine.step();
+    EXPECT_EQ(engine.node(0).estimate(), kGoldenCorrection[round].node0_estimate)
+        << "round " << round + 1;
+    EXPECT_EQ(engine.node(7).estimate(), kGoldenCorrection[round].node7_estimate)
+        << "round " << round + 1;
+    EXPECT_EQ(engine.max_error(), kGoldenCorrection[round].max_error) << "round " << round + 1;
+  }
+}
+
+// FU/MD hybrid, bus(8), seed 1, sequential delivery, average. The pairwise
+// halving is visible immediately: node 0 jumps 9 → 5 the first time it halves
+// against a neighbor's reported mass of 1.
+constexpr std::array<GoldenRow, 12> kGoldenHybrid{{
+    {9, 1, 3.5},
+    {5, 1, 1.5},
+    {5, 1, 1.5},
+    {5, 1, 1.5},
+    {5, 1, 1.5},
+    {5, 1, 1.5},
+    {5, 1, 1.5},
+    {3.75, 1, 0.875},
+    {3.75, 1, 0.875},
+    {3.75, 1, 0.875},
+    {3.75, 1, 0.875},
+    {3.75, 1, 0.875},
+}};
+
+TEST(GoldenTrace, FuMassHybridOnTheBusCaseStudyIsBitStable) {
+  const auto masses = test::bus_case_study_masses(8);
+  sim::SyncEngineConfig config;
+  config.algorithm = core::Algorithm::kFuMassHybrid;
+  config.seed = 1;
+  config.invariants.enabled = true;
+  sim::SyncEngine engine(net::Topology::bus(8), masses, config);
+
+  for (std::size_t round = 0; round < kGoldenHybrid.size(); ++round) {
+    engine.step();
+    EXPECT_EQ(engine.node(0).estimate(), kGoldenHybrid[round].node0_estimate)
+        << "round " << round + 1;
+    EXPECT_EQ(engine.node(7).estimate(), kGoldenHybrid[round].node7_estimate)
+        << "round " << round + 1;
+    EXPECT_EQ(engine.max_error(), kGoldenHybrid[round].max_error) << "round " << round + 1;
+  }
+}
+
 // The same schedule must be drawn for a different algorithm with the same
 // seed (the paper's "exactly the same random seed" comparability device) —
 // pin push-flow's first round too, which shares the round-1 schedule.
