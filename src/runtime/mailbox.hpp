@@ -1,10 +1,29 @@
-// Thread-safe mailbox used by the threaded runtime.
+// Thread-safe mailbox used by the threaded and socket runtimes.
 //
 // Each node owns one mailbox; any thread may push (deliver a packet), only
 // the owning worker drains. Draining swaps the queue out under the lock so
 // message processing happens outside the critical section.
+//
+// Capacity and backpressure: a mailbox constructed with capacity 0 is
+// unbounded (the original behavior). A bounded mailbox admits at most
+// `capacity` envelopes; the two producer entry points differ in what happens
+// at the limit:
+//  * push()      blocks until space frees up (or shutdown()) — the
+//                producer/consumer shape of the socket receive thread, where
+//                blocking the reader is the backpressure signal that lets the
+//                kernel socket buffer fill and overflow into *measured* UDP
+//                loss;
+//  * try_push()  fails fast — the shape for callers that can make progress
+//                themselves (the threaded runtime's workers drain their own
+//                shard between attempts; a blocking push there could deadlock
+//                against the step barrier).
+// Both count into Stats: overflow_blocks is the number of pushes that found
+// the box full (each blocked push() counts once, as does each failed
+// try_push()), high_watermark the largest queue size ever admitted.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -19,19 +38,63 @@ struct Envelope {
 
 class Mailbox {
  public:
-  void push(Envelope envelope) {
-    const std::scoped_lock lock(mutex_);
-    queue_.push_back(std::move(envelope));
+  /// Monotone producer-side telemetry (see class comment).
+  struct Stats {
+    std::uint64_t overflow_blocks = 0;  ///< pushes that found the box full
+    std::uint64_t high_watermark = 0;   ///< max queue length ever admitted
+  };
+
+  /// capacity 0 = unbounded (never blocks, never rejects).
+  explicit Mailbox(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Blocking push: waits while the box is full. Returns false (and drops the
+  /// envelope) only after shutdown() — the shutdown-aware wakeup that lets a
+  /// producer thread exit instead of blocking forever on a full box nobody
+  /// will drain again.
+  bool push(Envelope envelope) {
+    std::unique_lock lock(mutex_);
+    if (full_locked()) {
+      ++stats_.overflow_blocks;
+      space_.wait(lock, [this] { return !full_locked() || shutdown_; });
+    }
+    if (shutdown_) return false;
+    admit_locked(std::move(envelope));
+    return true;
   }
 
-  /// Removes and returns all queued envelopes (FIFO order preserved).
+  /// Non-blocking push: false when the box is full or shut down. The caller
+  /// owns making progress (e.g. draining its own mailboxes) before retrying.
+  bool try_push(Envelope envelope) {
+    const std::scoped_lock lock(mutex_);
+    if (shutdown_) return false;
+    if (full_locked()) {
+      ++stats_.overflow_blocks;
+      return false;
+    }
+    admit_locked(std::move(envelope));
+    return true;
+  }
+
+  /// Removes and returns all queued envelopes (FIFO order preserved), waking
+  /// any producers blocked on a full box.
   [[nodiscard]] std::vector<Envelope> drain() {
     std::vector<Envelope> out;
     {
       const std::scoped_lock lock(mutex_);
       out.swap(queue_);
     }
+    space_.notify_all();
     return out;
+  }
+
+  /// Wakes every blocked producer; subsequent pushes are rejected. Drain
+  /// still returns whatever was admitted before the shutdown.
+  void shutdown() {
+    {
+      const std::scoped_lock lock(mutex_);
+      shutdown_ = true;
+    }
+    space_.notify_all();
   }
 
   [[nodiscard]] bool empty() const {
@@ -39,9 +102,34 @@ class Mailbox {
     return queue_.empty();
   }
 
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] Stats stats() const {
+    const std::scoped_lock lock(mutex_);
+    return stats_;
+  }
+
  private:
+  [[nodiscard]] bool full_locked() const noexcept {
+    return capacity_ != 0 && queue_.size() >= capacity_;
+  }
+
+  void admit_locked(Envelope&& envelope) {
+    queue_.push_back(std::move(envelope));
+    if (queue_.size() > stats_.high_watermark) stats_.high_watermark = queue_.size();
+  }
+
+  const std::size_t capacity_;
   mutable std::mutex mutex_;
+  std::condition_variable space_;
   std::vector<Envelope> queue_;
+  Stats stats_;
+  bool shutdown_ = false;
 };
 
 }  // namespace pcf::runtime

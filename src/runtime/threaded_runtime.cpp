@@ -31,7 +31,7 @@ ThreadedRuntime::ThreadedRuntime(net::Topology topology,
     nodes_.push_back(core::make_reducer(config_.algorithm, config_.reducer));
     nodes_.back()->init(i, topology.neighbors(i), initial[i]);
     node_rngs_.push_back(base.fork(i));
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<Mailbox>(config_.mailbox_capacity));
   }
   shards_.resize(config_.num_threads);
   for (net::NodeId i = 0; i < topology.size(); ++i) {
@@ -44,6 +44,23 @@ void ThreadedRuntime::drain_node(net::NodeId i) {
     nodes_[i]->on_receive(env.from, env.packet);
     delivered_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void ThreadedRuntime::deliver(std::size_t worker_index, net::NodeId to, Envelope envelope) {
+  if (config_.mailbox_capacity == 0) {
+    mailboxes_[to]->push(std::move(envelope));
+    return;
+  }
+  // Bounded mode. A blocking push here can deadlock: the destination's owner
+  // may already be parked at the step barrier (it will not drain again until
+  // *this* worker arrives too). So: fail fast, make progress by draining our
+  // own shard (frees peers blocked on us, models "receiver busy"), retry
+  // once, and if the box is still full shed the packet — gossip reductions
+  // treat that exactly like wire loss, and the drop is counted.
+  if (mailboxes_[to]->try_push(envelope)) return;
+  for (const net::NodeId n : shards_[worker_index]) drain_node(n);
+  if (mailboxes_[to]->try_push(std::move(envelope))) return;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ThreadedRuntime::worker(std::size_t worker_index, std::size_t steps_per_node,
@@ -60,13 +77,14 @@ void ThreadedRuntime::worker(std::size_t worker_index, std::size_t steps_per_nod
       auto out = nodes_[i]->make_message(node_rngs_[i]);
       if (!out) continue;
       if (dead_links_.count(norm_edge(i, out->to)) != 0) continue;  // cable cut
-      mailboxes_[out->to]->push({i, std::move(out->packet)});
+      deliver(worker_index, out->to, {i, std::move(out->packet)});
     }
     step_barrier.arrive_and_wait();
   }
 }
 
 void ThreadedRuntime::run(std::size_t steps_per_node) {
+  apply_pending_faults();  // events queued while idle take effect before step 0
   {
     const auto timer = perf_.time(PerfCounters::Phase::kRun);
     workers_active_.store(true, std::memory_order_release);
@@ -82,10 +100,53 @@ void ThreadedRuntime::run(std::size_t steps_per_node) {
   }
   // Quiesce: receives never generate packets, so one drain pass empties all
   // in-flight traffic.
-  const auto timer = perf_.time(PerfCounters::Phase::kDrain);
-  for (net::NodeId i = 0; i < nodes_.size(); ++i) drain_node(i);
+  {
+    const auto timer = perf_.time(PerfCounters::Phase::kDrain);
+    for (net::NodeId i = 0; i < nodes_.size(); ++i) drain_node(i);
+  }
+  apply_pending_faults();  // events queued mid-phase land at this boundary
   perf_.rounds += steps_per_node;
   perf_.deliveries = delivered_.load(std::memory_order_relaxed);
+  perf_.mailbox_dropped = dropped_.load(std::memory_order_relaxed);
+  std::uint64_t overflow = 0;
+  std::uint64_t watermark = 0;
+  for (const auto& box : mailboxes_) {
+    const Mailbox::Stats s = box->stats();
+    overflow += s.overflow_blocks;
+    watermark = std::max(watermark, s.high_watermark);
+  }
+  perf_.mailbox_overflow_blocks = overflow;
+  perf_.mailbox_high_watermark = watermark;
+}
+
+void ThreadedRuntime::queue_fault(net::NodeId a, net::NodeId b, bool heal) {
+  // Validate eagerly so a bad edge surfaces at the call site, not at the next
+  // phase boundary where the caller's stack is long gone.
+  PCF_CHECK_MSG(topology_.has_edge(a, b), "queue_fault: no such link");
+  const std::scoped_lock lock(pending_faults_mutex_);
+  pending_faults_.push_back({a, b, heal});
+}
+
+std::size_t ThreadedRuntime::pending_faults() const {
+  const std::scoped_lock lock(pending_faults_mutex_);
+  return pending_faults_.size();
+}
+
+void ThreadedRuntime::apply_pending_faults() {
+  std::vector<QueuedFault> events;
+  {
+    const std::scoped_lock lock(pending_faults_mutex_);
+    events.swap(pending_faults_);
+  }
+  // Workers are not active at either call site, so the immediate APIs'
+  // phase-boundary guard passes; redundant events are no-ops there already.
+  for (const QueuedFault& e : events) {
+    if (e.heal) {
+      heal_link(e.a, e.b);
+    } else {
+      fail_link(e.a, e.b);
+    }
+  }
 }
 
 void ThreadedRuntime::fail_link(net::NodeId a, net::NodeId b) {

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <barrier>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -33,6 +34,14 @@ struct RuntimeConfig {
   std::uint64_t seed = 1;
   /// Worker threads; nodes are sharded round-robin. 0 = hardware concurrency.
   std::size_t num_threads = 0;
+  /// Per-node mailbox capacity; 0 = unbounded (the original behavior). With a
+  /// bound, workers use non-blocking pushes and drain their own shard while a
+  /// destination box is full — backpressure instead of unbounded queues; the
+  /// pressure shows up in PerfCounters::mailbox_overflow_blocks. A blocking
+  /// push would deadlock against the per-step barrier (a full hub mailbox
+  /// whose owner is already waiting at the barrier), which is why the bounded
+  /// path retries with drains instead of waiting.
+  std::size_t mailbox_capacity = 0;
 };
 
 class ThreadedRuntime {
@@ -57,6 +66,20 @@ class ThreadedRuntime {
   /// fail_link — throws ContractViolation while workers are active.
   void heal_link(net::NodeId a, net::NodeId b);
 
+  /// Queues a link fault (heal = false: fail, true: heal) to be applied at
+  /// the next phase boundary. Unlike fail_link/heal_link this may be called
+  /// from any thread at any time — including while a run() phase is active —
+  /// so chaos-style drivers do not need to special-case the runtime's
+  /// phase discipline. Queued events are applied in queue order when the
+  /// current phase's workers have joined (and, if the runtime is idle, by the
+  /// next run() before its workers start). The edge must exist in the
+  /// topology; redundant events (failing a dead link, healing a live one) are
+  /// benign no-ops, exactly like the immediate APIs.
+  void queue_fault(net::NodeId a, net::NodeId b, bool heal);
+
+  /// Queued-but-unapplied fault count (test/observability hook).
+  [[nodiscard]] std::size_t pending_faults() const;
+
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::vector<double> estimates(std::size_t k = 0) const;
   [[nodiscard]] core::Mass total_mass() const;
@@ -72,6 +95,8 @@ class ThreadedRuntime {
  private:
   void worker(std::size_t worker_index, std::size_t steps_per_node, std::barrier<>& step_barrier);
   void drain_node(net::NodeId i);
+  void deliver(std::size_t worker_index, net::NodeId to, Envelope envelope);
+  void apply_pending_faults();  ///< caller guarantees workers are not active
 
   net::Topology topology_;
   RuntimeConfig config_;
@@ -81,7 +106,15 @@ class ThreadedRuntime {
   std::vector<std::vector<net::NodeId>> shards_;  // nodes per worker
   std::set<std::pair<net::NodeId, net::NodeId>> dead_links_;
   std::atomic<std::size_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};  // bounded mode: envelopes shed after retry
   std::atomic<bool> workers_active_{false};
+  struct QueuedFault {
+    net::NodeId a;
+    net::NodeId b;
+    bool heal;
+  };
+  mutable std::mutex pending_faults_mutex_;
+  std::vector<QueuedFault> pending_faults_;
   PerfCounters perf_;
 };
 

@@ -1,0 +1,130 @@
+#include "runtime/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace pcf::runtime {
+
+namespace {
+
+[[nodiscard]] sockaddr_in loopback_addr(std::uint16_t port) noexcept {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+[[nodiscard]] std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+UdpSocket UdpSocket::bind_loopback(std::uint16_t port, int recv_buffer_bytes,
+                                   int bind_attempts) {
+  if (bind_attempts < 1) bind_attempts = 1;
+  for (int attempt = 1;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) throw SocketError(errno_text("udp: socket()"));
+
+    if (recv_buffer_bytes > 0) {
+      // Best effort: the kernel clamps to [min, rmem_max]; a runtime that
+      // asked for a tiny buffer still works with whatever it got — the
+      // effective size only changes how quickly backpressure becomes loss.
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes, sizeof(recv_buffer_bytes));
+    }
+
+    const sockaddr_in addr = loopback_addr(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        const std::string text = errno_text("udp: getsockname()");
+        ::close(fd);
+        throw SocketError(text);
+      }
+      UdpSocket s;
+      s.fd_ = fd;
+      s.port_ = ntohs(bound.sin_port);
+      return s;
+    }
+
+    const int bind_errno = errno;
+    ::close(fd);
+    if (bind_errno != EADDRINUSE || attempt >= bind_attempts) {
+      throw SocketError("udp: bind(127.0.0.1:" + std::to_string(port) +
+                        ") failed after " + std::to_string(attempt) +
+                        " attempt(s): " + std::strerror(bind_errno));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpSocket::send_to(std::uint16_t port, std::string_view datagram) const noexcept {
+  const sockaddr_in addr = loopback_addr(port);
+  for (;;) {
+    const ssize_t n = ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (n >= 0) return static_cast<std::size_t>(n) == datagram.size();
+    if (errno == EINTR) continue;
+    return false;  // ENOBUFS etc. — loss at the sender
+  }
+}
+
+std::optional<std::string> UdpSocket::receive(int timeout_ms) const {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return std::nullopt;  // timeout
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(errno_text("udp: poll()"));
+    }
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+      throw SocketError("udp: poll() reported a broken descriptor");
+    }
+    break;
+  }
+
+  // Any reducer packet frames in well under 1 KiB; 4 KiB leaves headroom for
+  // future frame kinds while still catching absurd datagrams (truncated by
+  // recvfrom, then rejected by the frame checksum).
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recvfrom(fd_, buffer, sizeof(buffer), 0, nullptr, nullptr);
+    if (n >= 0) return std::string(buffer, static_cast<std::size_t>(n));
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw SocketError(errno_text("udp: recvfrom()"));
+  }
+}
+
+}  // namespace pcf::runtime

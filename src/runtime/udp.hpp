@@ -1,0 +1,70 @@
+// Minimal RAII wrapper over a loopback UDP socket — the socket runtime's
+// only contact with the BSD socket API.
+//
+// Loopback UDP is the fault model the paper assumes, realized by the kernel
+// instead of an injector: datagrams to a full receive buffer are silently
+// dropped (real loss the receiver later MEASURES via sequence gaps), nothing
+// is retransmitted, and ordering is best-effort. bind_loopback() deliberately
+// supports a tiny SO_RCVBUF so backpressure (a slow consumer, a blocked
+// bounded mailbox) overflows into genuine kernel-level loss rather than
+// unbounded queueing.
+//
+// Binding retries: on a busy machine a fixed port can be transiently taken
+// (CI runners reusing ports in TIME_WAIT); bind_loopback retries EADDRINUSE
+// with a short pause before giving up. Ephemeral binds (port 0) never
+// collide and get their kernel-assigned port reported back via port().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pcf::runtime {
+
+/// Unrecoverable socket-layer failure (bind/recv hard errors). Transient
+/// conditions (timeout, full buffers) are return values, not exceptions.
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class UdpSocket {
+ public:
+  /// Invalid socket; use bind_loopback() to obtain a real one.
+  UdpSocket() = default;
+
+  /// Binds a UDP socket on 127.0.0.1. `port` 0 asks the kernel for an
+  /// ephemeral port (reported by port()). `recv_buffer_bytes` > 0 shrinks or
+  /// grows SO_RCVBUF (the kernel clamps to its limits). `bind_attempts`
+  /// retries EADDRINUSE with a 50 ms pause between attempts.
+  [[nodiscard]] static UdpSocket bind_loopback(std::uint16_t port = 0, int recv_buffer_bytes = 0,
+                                               int bind_attempts = 1);
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  ~UdpSocket();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Fire-and-forget datagram to 127.0.0.1:`port`. Returns false when the
+  /// kernel refused to take the datagram (ENOBUFS and friends) — loss at the
+  /// sender, indistinguishable on the wire from loss in transit, so callers
+  /// just count it sent and let the receiver's gap accounting see it.
+  bool send_to(std::uint16_t port, std::string_view datagram) const noexcept;
+
+  /// Waits up to `timeout_ms` for one datagram (0 polls, < 0 blocks).
+  /// nullopt on timeout or a transiently failed receive; throws SocketError
+  /// only on unrecoverable errors (e.g. the descriptor went bad).
+  [[nodiscard]] std::optional<std::string> receive(int timeout_ms) const;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace pcf::runtime

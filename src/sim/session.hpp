@@ -90,6 +90,11 @@ class ReductionSession {
   [[nodiscard]] std::size_t total_rounds() const noexcept { return engine_.round(); }
   [[nodiscard]] std::size_t queries() const noexcept { return queries_; }
   [[nodiscard]] const SyncEngine& engine() const noexcept { return engine_; }
+  /// The options the session was constructed with — external drivers (e.g.
+  /// the net-trial harness serving a session as its in-process baseline)
+  /// mirror these into their own scenario so both runs reduce the same
+  /// problem to the same target.
+  [[nodiscard]] const SessionOptions& options() const noexcept { return options_; }
 
   /// Serializes session bookkeeping (query count, buffered input values,
   /// rejoin watermarks) plus the full engine checkpoint — a warm session

@@ -86,6 +86,26 @@ class PerfCounters {
   std::uint64_t doubles_on_wire = 0;     ///< payload doubles transmitted
   std::uint64_t queue_reallocations = 0; ///< hot event-queue growth events
 
+  // ---- socket/runtime transport counters (charged by the runtimes) ----
+  // These count OBSERVED datagram faults (sequence gaps, duplicate or stale
+  // sequence numbers), not injected ones — on the socket runtime UDP loss is
+  // a measured quantity. Per-link breakdowns live in the runtime's own
+  // LinkStats; these are the process-wide totals.
+  std::uint64_t datagrams_sent = 0;       ///< frames written to the socket
+  std::uint64_t datagrams_received = 0;   ///< frames decoded off the socket
+  std::uint64_t datagrams_lost = 0;       ///< sequence gaps observed (real loss)
+  std::uint64_t datagrams_duplicated = 0; ///< repeated sequence numbers dropped
+  std::uint64_t datagrams_reordered = 0;  ///< stale sequence numbers dropped
+  std::uint64_t frames_rejected = 0;      ///< undecodable datagrams (corrupt/skew)
+  std::uint64_t heartbeats_sent = 0;      ///< failure-detector beacons emitted
+  std::uint64_t detector_downs = 0;       ///< heartbeat timeouts fired (link-down)
+  std::uint64_t detector_ups = 0;         ///< heartbeat resumptions (link-up)
+
+  // ---- bounded-mailbox backpressure (threaded + socket runtimes) ----
+  std::uint64_t mailbox_overflow_blocks = 0;  ///< pushes that found a box full
+  std::uint64_t mailbox_high_watermark = 0;   ///< max queue length (merge: max)
+  std::uint64_t mailbox_dropped = 0;          ///< envelopes shed after retry failed
+
   /// Throughput rates against the total charged wall-clock; 0 when no time
   /// has been charged yet (so a fresh engine reports 0 instead of inf/NaN).
   [[nodiscard]] double rounds_per_sec() const noexcept { return rate(rounds); }

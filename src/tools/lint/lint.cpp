@@ -179,6 +179,7 @@ std::string_view to_string(Rule rule) noexcept {
     case Rule::kD4: return "D4";
     case Rule::kR1: return "R1";
     case Rule::kF1: return "F1";
+    case Rule::kS1: return "S1";
     case Rule::kLnt: return "LNT";
   }
   return "?";
@@ -198,6 +199,9 @@ std::string_view describe(Rule rule) noexcept {
       return "Reducer subclasses must declare on_link_down, on_link_up, update_data";
     case Rule::kF1:
       return "no `float` in src/{core,linalg}; no ==/!= against nonzero float literals";
+    case Rule::kS1:
+      return "socket/process syscalls only inside src/runtime/{udp,socket_runtime} — "
+             "everything else stays transport-agnostic";
     case Rule::kLnt:
       return "suppression hygiene: allow(...) must name a known rule, carry a reason, and fire";
   }
@@ -211,7 +215,7 @@ Rule parse_rule(std::string_view name) {
     if (upper == to_string(rule)) return rule;
   }
   throw ContractViolation("pcflow-lint: unknown rule '" + std::string(name) +
-                          "' (known: D1 D2 D3 D4 R1 F1 LNT)");
+                          "' (known: D1 D2 D3 D4 R1 F1 S1 LNT)");
 }
 
 std::vector<Diagnostic> lint_source(std::string_view virtual_path, std::string_view source,

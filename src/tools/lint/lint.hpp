@@ -35,6 +35,14 @@
 //       no ==/!= against nonzero floating literals outside oracle files
 //       (comparison against literal 0.0 is the sanctioned exact-sentinel
 //       idiom; the accuracy claims are about double cancellation behavior).
+//   S1  OS-boundary discipline: no socket/process syscalls (socket, sendto,
+//       recvfrom, fork, waitpid, kill, poll, ...) or their headers
+//       (<sys/socket.h>, <unistd.h>, <signal.h>, ...) outside the two files
+//       that own the boundary — src/runtime/udp.* and
+//       src/runtime/socket_runtime.*. The reducers, engines, topologies and
+//       even the rest of src/runtime stay transport-agnostic; that is what
+//       lets one protocol implementation run under the simulator, the
+//       threaded runtime and real UDP unchanged.
 //   LNT suppression hygiene: every `pcflow-lint: allow(...)` must name a
 //       known rule, carry a non-empty reason, and actually suppress
 //       something. LNT itself cannot be suppressed.
@@ -52,10 +60,10 @@
 
 namespace pcf::lint {
 
-enum class Rule { kD1, kD2, kD3, kD4, kR1, kF1, kLnt };
+enum class Rule { kD1, kD2, kD3, kD4, kR1, kF1, kS1, kLnt };
 
 inline constexpr Rule kAllRules[] = {Rule::kD1, Rule::kD2, Rule::kD3, Rule::kD4,
-                                     Rule::kR1, Rule::kF1, Rule::kLnt};
+                                     Rule::kR1, Rule::kF1, Rule::kS1, Rule::kLnt};
 
 [[nodiscard]] std::string_view to_string(Rule rule) noexcept;
 /// One-line human description used by --list-rules.

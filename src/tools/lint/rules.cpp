@@ -28,10 +28,32 @@ using lex::TokenKind;
                      [&](std::string_view d) { return starts_with(path, d); });
 }
 
+/// The files that own the OS boundary by design: the loopback UDP socket
+/// wrapper and the process-per-shard socket runtime (real sockets, real
+/// clocks, fork/kill/waitpid — DESIGN.md §10). Everything else in
+/// src/runtime (threaded runtime, mailbox, net-trial driver) must stay free
+/// of syscalls and wall-clock reads so the boundary stays auditable in two
+/// files. Prefix match covers .hpp and .cpp alike.
+[[nodiscard]] bool is_socket_boundary(std::string_view path) {
+  return starts_with(path, "src/runtime/socket_runtime.") ||
+         starts_with(path, "src/runtime/udp.");
+}
+
+/// Files allowed to spawn raw threads: support/parallel.hpp's workers live in
+/// the support layer (out of scope anyway); inside src/runtime the threaded
+/// runtime and the socket boundary own their threads by design.
+[[nodiscard]] bool is_thread_owner(std::string_view path) {
+  return starts_with(path, "src/runtime/threaded_runtime.") || is_socket_boundary(path);
+}
+
 /// Deterministic paths for D1: the engines, protocol state machines,
 /// topologies and the bench/chaos harnesses whose JSON is byte-compared.
+/// src/runtime is included MINUS the explicit socket-boundary exemptions —
+/// the threaded runtime and the net-trial driver are scheduler-dependent but
+/// must still not read clocks or the environment themselves.
 [[nodiscard]] bool is_d1_path(std::string_view path) {
-  return path_in(path, {"src/core/", "src/sim/", "src/net/", "src/bench/"});
+  if (is_socket_boundary(path)) return false;
+  return path_in(path, {"src/core/", "src/sim/", "src/net/", "src/bench/", "src/runtime/"});
 }
 
 /// D2 adds the threaded runtime and linalg: their results feed the same
@@ -222,7 +244,7 @@ constexpr std::array<std::string_view, 2> kD4Headers = {"thread", "future"};
 
 void rule_d4(std::string_view path, const std::vector<Token>& code,
              std::vector<Diagnostic>& out) {
-  if (!is_d1_path(path)) return;
+  if (!is_d1_path(path) || is_thread_owner(path)) return;
   for (std::size_t i = 0; i < code.size(); ++i) {
     const Token& tok = code[i];
     if (tok.kind != TokenKind::kIdentifier) continue;
@@ -401,6 +423,76 @@ void rule_f1(std::string_view path, const std::vector<Token>& code,
   }
 }
 
+// ---------------------------------------------------------------- S1 -------
+
+/// S1 scope: everything that must stay transport-agnostic — the algorithm,
+/// engine, topology and harness layers, plus the rest of src/runtime outside
+/// the two socket-boundary files.
+[[nodiscard]] bool is_s1_path(std::string_view path) {
+  if (is_socket_boundary(path)) return false;
+  return path_in(path, {"src/core/", "src/sim/", "src/net/", "src/bench/", "src/linalg/",
+                        "src/runtime/"});
+}
+
+/// POSIX socket/process calls. Flagged when ::-qualified or in bare call
+/// position (member accesses like `server.poll()` stay clean — same veto
+/// logic as D1's call heuristic).
+constexpr std::array<std::string_view, 16> kS1Calls = {
+    "socket",  "sendto",  "recvfrom", "recvmsg", "sendmsg",   "setsockopt",
+    "getsockname", "poll", "select",  "fork",    "vfork",     "execve",
+    "waitpid", "kill",    "sigaction", "signal"};
+
+/// Headers whose inclusion means OS-boundary code, however the calls are
+/// spelled. (std::bind makes the `bind` identifier unflaggable, so the
+/// <sys/socket.h> include is what catches hand-rolled binds.)
+constexpr std::array<std::string_view, 12> kS1Headers = {
+    "sys/socket.h", "netinet/in.h", "netinet/tcp.h", "arpa/inet.h",
+    "poll.h",       "sys/poll.h",   "sys/select.h",  "sys/epoll.h",
+    "sys/wait.h",   "unistd.h",     "signal.h",      "csignal"};
+
+/// Reassembles the header name of an `#include <...>` whose `<` is at
+/// code[i]; empty when code[i] does not open an include.
+[[nodiscard]] std::string include_header_at(const std::vector<Token>& code, std::size_t i) {
+  if (i < 2 || !is_punct(code[i], "<") || !is_ident(code[i - 1], "include") ||
+      !is_punct(code[i - 2], "#")) {
+    return {};
+  }
+  std::string header;
+  for (std::size_t j = i + 1; j < code.size() && !is_punct(code[j], ">"); ++j) {
+    header += code[j].text;
+  }
+  return header;
+}
+
+void rule_s1(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  if (!is_s1_path(path)) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& tok = code[i];
+    if (tok.kind == TokenKind::kPunct) {
+      const std::string header = include_header_at(code, i);
+      if (!header.empty() &&
+          std::find(kS1Headers.begin(), kS1Headers.end(), header) != kS1Headers.end()) {
+        std::ostringstream os;
+        os << "#include <" << header
+           << "> outside the socket boundary: OS transport/process code lives only in "
+              "src/runtime/{udp,socket_runtime} so every other layer stays transport-agnostic";
+        emit(out, path, tok, Rule::kS1, os.str());
+      }
+      continue;
+    }
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (std::find(kS1Calls.begin(), kS1Calls.end(), tok.text) != kS1Calls.end() &&
+        (is_std_qualified(code, i) || is_bare_call(code, i))) {
+      std::ostringstream os;
+      os << "syscall `" << tok.text
+         << "` outside the socket boundary: sockets, clocks-of-the-kernel and process "
+            "control belong to src/runtime/{udp,socket_runtime} only";
+      emit(out, path, tok, Rule::kS1, os.str());
+    }
+  }
+}
+
 }  // namespace
 
 void run_rules(std::string_view path, const std::vector<Token>& code, const Options& options,
@@ -411,6 +503,7 @@ void run_rules(std::string_view path, const std::vector<Token>& code, const Opti
   if (options.rule_enabled(Rule::kD4)) rule_d4(path, code, out);
   if (options.rule_enabled(Rule::kR1)) rule_r1(path, code, out);
   if (options.rule_enabled(Rule::kF1)) rule_f1(path, code, out);
+  if (options.rule_enabled(Rule::kS1)) rule_s1(path, code, out);
 }
 
 }  // namespace pcf::lint::detail

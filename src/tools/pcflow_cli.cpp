@@ -23,6 +23,13 @@
 // (determinism, RNG-stream and reducer-protocol discipline):
 //
 //   pcflow lint --root=. --list-rules
+// The `net-trial` subcommand (alias: `serve`) runs the scenario over the
+// loopback UDP socket runtime — real processes, measured loss, heartbeat
+// failure detection, checkpoint-backed restarts (DESIGN.md §10):
+//
+//   pcflow net-trial --topology=torus2d:8x8 --shards=4 --out=NET_pcflow.json
+//   pcflow serve --algorithm=fu --kill-shard=1 --kill-after-ms=150
+//
 // The `checkpoint` subcommand saves, resumes and verifies engine state blobs
 // (DESIGN.md §8):
 //
@@ -38,6 +45,7 @@
 #include "bench/chaos.hpp"
 #include "core/reducer.hpp"
 #include "net/topology.hpp"
+#include "runtime/net_trial.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/engine_sync.hpp"
 #include "sim/fault_spec.hpp"
@@ -128,6 +136,113 @@ int run_chaos_cli(int argc, const char* const* argv) {
         "(%zu/%zu bitwise restores) -> %s\n",
         report.cells.size(), survived, report.restore_cells.size(), bitwise, restore_trials,
         out.c_str());
+  }
+  return 0;
+}
+
+/// `pcflow net-trial` (alias: `pcflow serve`) — the loopback UDP socket
+/// runtime: forks one process per shard, runs the scenario over real
+/// datagrams (loss MEASURED, not injected), supervises/restarts SIGKILLed
+/// shards from their checkpoints, and emits the versioned "pcflow-net" JSON
+/// report. Exit 0 when the run completed within the algorithm's envelope.
+int run_net_cli(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.define("topology", std::string("torus2d:8x8"), "net::Topology::parse() spec");
+  flags.define("algorithm", std::string("pcf"), "ps | pf | pcf | fu | corr | fumd");
+  flags.define("aggregate", std::string("avg"), "avg | sum");
+  flags.define("variant", std::string("robust"), "PCF bookkeeping: fast | robust");
+  flags.define("tree", std::string("auto"),
+               "corr schedule shape: auto | chain | binary | star | bfs");
+  flags.define("seed", std::int64_t{1}, "RNG seed (same scenario derivation as pcflow)");
+  flags.define("shards", std::int64_t{4}, "UDP processes; nodes assigned round-robin");
+  flags.define("steps", std::int64_t{600}, "gossip sends per node");
+  flags.define("pacing-us", std::int64_t{0}, "sleep between steps (0 = flat out)");
+  flags.define("mailbox-capacity", std::int64_t{256},
+               "bounded RX mailbox per node (0 = unbounded, no backpressure)");
+  flags.define("recv-buffer", std::int64_t{4096},
+               "requested SO_RCVBUF; small values turn backpressure into measured loss");
+  flags.define("bind-attempts", std::int64_t{5}, "EADDRINUSE retries when binding");
+  flags.define("heartbeat-period-ms", std::int64_t{10}, "failure-detector beacon period");
+  flags.define("heartbeat-timeout-ms", std::int64_t{100},
+               "silence threshold before on_link_down fires");
+  flags.define("checkpoint-every", std::int64_t{50},
+               "checkpoint cadence in steps (0 = restart from scratch)");
+  flags.define("linger-ms", std::int64_t{300}, "receive-only tail after the step budget");
+  flags.define("max-restarts", std::int64_t{3}, "supervisor restart budget per shard");
+  flags.define("timeout-ms", std::int64_t{120000}, "hard wall-clock cap on the trial");
+  flags.define("kill-shard", std::int64_t{-1}, "chaos: SIGKILL this shard once (-1 = never)");
+  flags.define("kill-after-ms", std::int64_t{200}, "chaos: SIGKILL delay after launch");
+  flags.define("stall-shard", std::int64_t{-1}, "chaos: SIGSTOP this shard once (-1 = never)");
+  flags.define("stall-after-ms", std::int64_t{200}, "chaos: SIGSTOP delay after launch");
+  flags.define("stall-ms", std::int64_t{250},
+               "chaos: SIGCONT after this long (detector false positive)");
+  flags.define("run-dir", std::string("pcflow-net-run"),
+               "directory for checkpoints and per-shard results");
+  flags.define("tol", 1e-3, "error envelope a trusted algorithm must land in");
+  flags.define("session-baseline", true, "also run the warm in-process session baseline");
+  flags.define("out", std::string("NET_pcflow.json"), "output path ('-' = stdout only)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  runtime::NetTrialOptions options;
+  options.topology_spec = flags.get_string("topology");
+  options.algorithm = core::parse_algorithm(flags.get_string("algorithm"));
+  const std::string& aggregate_name = flags.get_string("aggregate");
+  PCF_CHECK_MSG(aggregate_name == "avg" || aggregate_name == "sum", "--aggregate wants avg|sum");
+  options.aggregate = aggregate_name == "sum" ? core::Aggregate::kSum : core::Aggregate::kAverage;
+  const std::string& variant = flags.get_string("variant");
+  PCF_CHECK_MSG(variant == "fast" || variant == "robust", "--variant wants fast|robust");
+  options.reducer.pcf_variant =
+      variant == "fast" ? core::PcfVariant::kFast : core::PcfVariant::kRobust;
+  options.reducer.tree_kind = net::parse_tree_kind(flags.get_string("tree"));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.runtime.num_shards = static_cast<std::size_t>(flags.get_int("shards"));
+  options.runtime.steps_per_node = static_cast<std::size_t>(flags.get_int("steps"));
+  options.runtime.step_pacing_us = static_cast<int>(flags.get_int("pacing-us"));
+  options.runtime.mailbox_capacity =
+      static_cast<std::size_t>(flags.get_int("mailbox-capacity"));
+  options.runtime.socket_recv_buffer = static_cast<int>(flags.get_int("recv-buffer"));
+  options.runtime.bind_attempts = static_cast<int>(flags.get_int("bind-attempts"));
+  options.runtime.heartbeat_period_ms = static_cast<int>(flags.get_int("heartbeat-period-ms"));
+  options.runtime.heartbeat_timeout_ms =
+      static_cast<int>(flags.get_int("heartbeat-timeout-ms"));
+  options.runtime.checkpoint_every_steps =
+      static_cast<std::size_t>(flags.get_int("checkpoint-every"));
+  options.runtime.linger_ms = static_cast<int>(flags.get_int("linger-ms"));
+  options.runtime.max_restarts = static_cast<std::size_t>(flags.get_int("max-restarts"));
+  options.runtime.trial_timeout_ms = static_cast<int>(flags.get_int("timeout-ms"));
+  options.chaos.kill_shard = static_cast<int>(flags.get_int("kill-shard"));
+  options.chaos.kill_after_ms = static_cast<int>(flags.get_int("kill-after-ms"));
+  options.chaos.stall_shard = static_cast<int>(flags.get_int("stall-shard"));
+  options.chaos.stall_after_ms = static_cast<int>(flags.get_int("stall-after-ms"));
+  options.chaos.stall_ms = static_cast<int>(flags.get_int("stall-ms"));
+  options.run_dir = flags.get_string("run-dir");
+  options.error_tol = flags.get_double("tol");
+  options.session_baseline = flags.get_bool("session-baseline");
+
+  const runtime::NetTrialReport report = runtime::run_net_trial(options);
+  const std::string json = runtime::net_trial_report_to_json(options, report);
+
+  const std::string& out = flags.get_string("out");
+  if (out == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    PCF_CHECK_MSG(file.good(), "net-trial: cannot open " << out << " for writing");
+    file << json;
+    PCF_CHECK_MSG(file.good(), "net-trial: write to " << out << " failed");
+    std::printf(
+        "pcflow net-trial: %zu/%zu nodes reported, measured loss %.4f "
+        "(dup %.4f, reorder %.4f), %zu restart(s), %zu failure(s), max error %.3e "
+        "(%s, tol %.1e) -> %s\n",
+        report.reporting_nodes, report.nodes, report.trial.measured_loss_rate(),
+        report.trial.measured_duplicate_rate(), report.trial.measured_reorder_rate(),
+        report.trial.restarts, report.trial.failures, report.max_rel_error,
+        report.trusted ? "trusted" : "untrusted", options.error_tol, out.c_str());
+  }
+  if (!report.ok) {
+    std::fprintf(stderr, "pcflow net-trial: run %s\n",
+                 report.trial.completed ? "missed the error envelope" : "did not complete");
+    return 1;
   }
   return 0;
 }
@@ -310,6 +425,9 @@ int run_cli(int argc, const char* const* argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "checkpoint") == 0) {
     return run_checkpoint_cli(argc - 1, argv + 1);
+  }
+  if (argc > 1 && (std::strcmp(argv[1], "net-trial") == 0 || std::strcmp(argv[1], "serve") == 0)) {
+    return run_net_cli(argc - 1, argv + 1);
   }
   if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
     return lint::run_cli(argc - 1, argv + 1);

@@ -1,0 +1,20 @@
+// S1 fixture: socket/process syscalls outside the boundary files. This path
+// (src/runtime/, but NOT udp.* / socket_runtime.*) must stay
+// transport-agnostic, so every include and call below fires; the same source
+// under a boundary path stays clean (see the scoping tests). The clock read
+// proves D1 now covers src/runtime too.
+#include <sys/socket.h>  // line 6: S1 (include)
+#include <sys/wait.h>    // line 7: S1 (include)
+#include <poll.h>        // line 8: S1 (include)
+
+void fixture() {
+  int fd = socket(2, 2, 0);                     // line 11: S1 (socket)
+  ::sendto(fd, nullptr, 0, 0, nullptr, 0);      // line 12: S1 (::sendto)
+  poll(nullptr, 0, 0);                          // line 13: S1 (poll)
+  int child = fork();                           // line 14: S1 (fork)
+  kill(child, 9);                               // line 15: S1 (kill)
+  waitpid(child, nullptr, 0);                   // line 16: S1 (waitpid)
+  auto t = std::chrono::steady_clock::now();    // line 17: D1 (steady_clock)
+  (void)fd;
+  (void)t;
+}

@@ -38,7 +38,7 @@ constexpr const char* kFixtureDir = PCF_LINT_FIXTURE_DIR;
 
 TEST(LintFixtures, WholeTreeMatchesAnnotations) {
   const RunResult result = run_directory(kFixtureDir);
-  EXPECT_EQ(result.files_scanned, 8u);
+  EXPECT_EQ(result.files_scanned, 9u);
   const std::vector<std::string> expected = {
       "src/core/bad_clock.cpp:15:D1",      // std::time
       "src/core/bad_clock.cpp:16:D1",      // bare time( call
@@ -62,6 +62,16 @@ TEST(LintFixtures, WholeTreeMatchesAnnotations) {
       "src/linalg/bad_float.cpp:4:F1",     // static_cast<float>
       "src/linalg/bad_float.cpp:5:F1",     // == 1.5
       "src/linalg/bad_float.cpp:6:F1",     // != 2.0e-3
+      "src/runtime/bad_socket.cpp:6:S1",   // #include <sys/socket.h>
+      "src/runtime/bad_socket.cpp:7:S1",   // #include <sys/wait.h>
+      "src/runtime/bad_socket.cpp:8:S1",   // #include <poll.h>
+      "src/runtime/bad_socket.cpp:11:S1",  // bare socket( call
+      "src/runtime/bad_socket.cpp:12:S1",  // ::sendto
+      "src/runtime/bad_socket.cpp:13:S1",  // bare poll( call
+      "src/runtime/bad_socket.cpp:14:S1",  // bare fork( call
+      "src/runtime/bad_socket.cpp:15:S1",  // bare kill( call
+      "src/runtime/bad_socket.cpp:16:S1",  // bare waitpid( call
+      "src/runtime/bad_socket.cpp:17:D1",  // steady_clock — D1 covers runtime now
       "src/sim/bad_rng.cpp:3:D3",          // #include <random>
       "src/sim/bad_rng.cpp:6:D3",          // std::mt19937
       "src/sim/bad_rng.cpp:7:D3",          // std::uniform_real_distribution
@@ -84,7 +94,7 @@ TEST(LintFixtures, ReportIsByteDeterministic) {
   const std::string a = format_report(run_directory(kFixtureDir));
   const std::string b = format_report(run_directory(kFixtureDir));
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("pcflow-lint: 8 file(s) scanned, 30 diagnostic(s)"), std::string::npos) << a;
+  EXPECT_NE(a.find("pcflow-lint: 9 file(s) scanned, 40 diagnostic(s)"), std::string::npos) << a;
 }
 
 // ------------------------------------------------------------- scoping -----
@@ -95,6 +105,11 @@ TEST(LintScoping, D1OnlyFiresInDeterministicPaths) {
   EXPECT_EQ(lint_keys("src/sim/a.cpp", src).size(), 1u);
   EXPECT_EQ(lint_keys("src/net/a.cpp", src).size(), 1u);
   EXPECT_EQ(lint_keys("src/bench/a.cpp", src).size(), 1u);
+  // src/runtime is deterministic-scoped too — except the socket boundary,
+  // which owns real clocks and sockets by design.
+  EXPECT_EQ(lint_keys("src/runtime/a.cpp", src).size(), 1u);
+  EXPECT_TRUE(lint_keys("src/runtime/udp.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/runtime/socket_runtime.cpp", src).empty());
   // The CLI, support and tools layers may read the environment / clock.
   EXPECT_TRUE(lint_keys("src/tools/a.cpp", src).empty());
   EXPECT_TRUE(lint_keys("src/support/a.cpp", src).empty());
@@ -122,10 +137,31 @@ TEST(LintScoping, D4BansRawThreadsOnlyInDeterministicPaths) {
   EXPECT_EQ(lint_keys("src/sim/a.cpp", src).size(), 1u);
   EXPECT_EQ(lint_keys("src/net/a.cpp", src).size(), 1u);
   EXPECT_EQ(lint_keys("src/bench/a.cpp", src).size(), 1u);
-  // The threaded runtime and the support layer own their threads by design —
-  // support/parallel.hpp is exactly where the workers live.
-  EXPECT_TRUE(lint_keys("src/runtime/a.cpp", src).empty());
+  // Generic src/runtime files may NOT spawn threads either — only the named
+  // thread owners (threaded runtime + socket boundary) and the support layer,
+  // where support/parallel.hpp's workers live.
+  EXPECT_EQ(lint_keys("src/runtime/a.cpp", src).size(), 1u);
+  EXPECT_TRUE(lint_keys("src/runtime/threaded_runtime.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/runtime/socket_runtime.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/runtime/udp.cpp", src).empty());
   EXPECT_TRUE(lint_keys("src/support/parallel.hpp", src).empty());
+}
+
+TEST(LintScoping, S1AllowsOnlyTheSocketBoundary) {
+  const std::string_view src = "int f() { return fork(); }\n";
+  EXPECT_EQ(lint_keys("src/core/a.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/net/topology.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/sim/a.cpp", src).size(), 1u);
+  EXPECT_EQ(lint_keys("src/linalg/a.cpp", src).size(), 1u);
+  // Inside src/runtime only the two boundary files may touch the OS; even the
+  // net-trial driver and mailbox stay syscall-free.
+  EXPECT_EQ(lint_keys("src/runtime/net_trial.cpp", src),
+            (std::vector<std::string>{"src/runtime/net_trial.cpp:1:S1"}));
+  EXPECT_TRUE(lint_keys("src/runtime/udp.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/runtime/udp.hpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/runtime/socket_runtime.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/tools/a.cpp", src).empty());
+  EXPECT_TRUE(lint_keys("src/support/a.cpp", src).empty());
 }
 
 TEST(LintRulesD4, UnqualifiedNamesAndMembersStayClean) {
@@ -182,6 +218,34 @@ TEST(LintRules, R1IgnoresNonReducerClasses) {
                         "class A : public Widget {};\n"
                         "class Reducer { void on_link_down(); };\n"  // the base itself
                         "enum class Reducer2 : int {};\n")
+                  .empty());
+}
+
+TEST(LintRulesS1, MemberAndForeignQualifiedNamesStayClean) {
+  // `poll`/`kill`/`select` as member calls or names in another namespace are
+  // ordinary words; only the raw syscall shape (bare call or ::-qualified)
+  // marks OS-boundary code.
+  EXPECT_TRUE(lint_keys("src/runtime/a.cpp",
+                        "void f(Socket& s) { s.poll(); }\n"
+                        "void g(Supervisor* s) { s->kill(3); }\n"
+                        "void h() { os::select(); }\n"
+                        "struct W { int fork() const; };\n")
+                  .empty());
+  EXPECT_EQ(lint_keys("src/runtime/a.cpp", "void f() { poll(nullptr, 0, 0); }\n").size(), 1u);
+  EXPECT_EQ(lint_keys("src/runtime/a.cpp", "#include <sys/socket.h>\n").size(), 1u);
+}
+
+TEST(LintRulesS1, StdBindIsNotASocketCall) {
+  // `bind` is deliberately absent from the banned-call list (std::bind is a
+  // legitimate std name); hand-rolled socket binds are caught by the
+  // <sys/socket.h> include they cannot avoid.
+  EXPECT_TRUE(lint_keys("src/sim/a.cpp", "auto f = std::bind(&g, 1);\n").empty());
+}
+
+TEST(LintRulesS1, SuppressionWorksLikeEveryOtherRule) {
+  EXPECT_TRUE(lint_keys("src/runtime/a.cpp",
+                        "int f() { return fork(); }  "
+                        "// pcflow-lint: allow(S1) fixture exercises the banned call\n")
                   .empty());
 }
 
