@@ -17,17 +17,23 @@
 //                themselves (the threaded runtime's workers drain their own
 //                shard between attempts; a blocking push there could deadlock
 //                against the step barrier).
-// Both count into Stats: overflow_blocks is the number of pushes that found
-// the box full (each blocked push() counts once, as does each failed
-// try_push()), high_watermark the largest queue size ever admitted.
+// The two are different backpressure signals and count separately into Stats:
+// blocked_pushes is the number of push() calls that found the box full and
+// waited (once per call, however long the wait), rejected_pushes the number of
+// try_push() calls that failed on a full box, high_watermark the largest
+// queue size ever admitted.
+//
+// Lock discipline is compiler-checked (DESIGN.md §11): mutex_ guards queue_,
+// stats_, and shutdown_; the clang thread-safety preset turns any unlocked
+// access into a build error.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "core/reducer.hpp"
+#include "support/annotations.hpp"
 
 namespace pcf::runtime {
 
@@ -40,7 +46,8 @@ class Mailbox {
  public:
   /// Monotone producer-side telemetry (see class comment).
   struct Stats {
-    std::uint64_t overflow_blocks = 0;  ///< pushes that found the box full
+    std::uint64_t blocked_pushes = 0;   ///< push() calls that found the box full and waited
+    std::uint64_t rejected_pushes = 0;  ///< try_push() calls that failed on a full box
     std::uint64_t high_watermark = 0;   ///< max queue length ever admitted
   };
 
@@ -50,13 +57,12 @@ class Mailbox {
   /// Blocking push: waits while the box is full. Returns false (and drops the
   /// envelope) only after shutdown() — the shutdown-aware wakeup that lets a
   /// producer thread exit instead of blocking forever on a full box nobody
-  /// will drain again.
+  /// will drain again. A push that found the box full (and was not already
+  /// shut down) counts once into blocked_pushes.
   bool push(Envelope envelope) {
-    std::unique_lock lock(mutex_);
-    if (full_locked()) {
-      ++stats_.overflow_blocks;
-      space_.wait(lock, [this] { return !full_locked() || shutdown_; });
-    }
+    MutexLock lock(mutex_);
+    if (full_locked() && !shutdown_) ++stats_.blocked_pushes;
+    while (full_locked() && !shutdown_) space_.wait(lock.native());
     if (shutdown_) return false;
     admit_locked(std::move(envelope));
     return true;
@@ -64,11 +70,12 @@ class Mailbox {
 
   /// Non-blocking push: false when the box is full or shut down. The caller
   /// owns making progress (e.g. draining its own mailboxes) before retrying.
+  /// A full box counts into rejected_pushes; rejection-after-shutdown does not.
   bool try_push(Envelope envelope) {
-    const std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) return false;
     if (full_locked()) {
-      ++stats_.overflow_blocks;
+      ++stats_.rejected_pushes;
       return false;
     }
     admit_locked(std::move(envelope));
@@ -80,7 +87,7 @@ class Mailbox {
   [[nodiscard]] std::vector<Envelope> drain() {
     std::vector<Envelope> out;
     {
-      const std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       out.swap(queue_);
     }
     space_.notify_all();
@@ -91,45 +98,45 @@ class Mailbox {
   /// still returns whatever was admitted before the shutdown.
   void shutdown() {
     {
-      const std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       shutdown_ = true;
     }
     space_.notify_all();
   }
 
   [[nodiscard]] bool empty() const {
-    const std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return queue_.empty();
   }
 
   [[nodiscard]] std::size_t size() const {
-    const std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return queue_.size();
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   [[nodiscard]] Stats stats() const {
-    const std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
-  [[nodiscard]] bool full_locked() const noexcept {
+  [[nodiscard]] bool full_locked() const noexcept PCF_REQUIRES(mutex_) {
     return capacity_ != 0 && queue_.size() >= capacity_;
   }
 
-  void admit_locked(Envelope&& envelope) {
+  void admit_locked(Envelope&& envelope) PCF_REQUIRES(mutex_) {
     queue_.push_back(std::move(envelope));
     if (queue_.size() > stats_.high_watermark) stats_.high_watermark = queue_.size();
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
   std::condition_variable space_;
-  std::vector<Envelope> queue_;
-  Stats stats_;
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  std::vector<Envelope> queue_ PCF_GUARDED_BY(mutex_);
+  Stats stats_ PCF_GUARDED_BY(mutex_);
+  bool shutdown_ PCF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pcf::runtime

@@ -62,7 +62,8 @@ void aggregate_perf(const SocketTrialReport& trial, PerfCounters& perf) {
     perf.heartbeats_sent += s.heartbeats_sent;
     perf.detector_downs += s.detector_downs;
     perf.detector_ups += s.detector_ups;
-    perf.mailbox_overflow_blocks += s.mailbox_overflow_blocks;
+    perf.mailbox_blocked_pushes += s.mailbox_blocked_pushes;
+    perf.mailbox_rejected_pushes += s.mailbox_rejected_pushes;
     perf.mailbox_high_watermark =
         std::max(perf.mailbox_high_watermark, s.mailbox_high_watermark);
   }
@@ -145,6 +146,10 @@ std::string net_trial_report_to_json(const NetTrialOptions& options,
   json.begin_object();
   json.field("schema", "pcflow-net");
   json.field("schema_version", std::int64_t{1});
+  // minor 1: mailbox_overflow_blocks split into mailbox_blocked_pushes +
+  // mailbox_rejected_pushes (measured + per-shard objects). Additive readers
+  // keyed on schema_version keep working; the overflow key is gone.
+  json.field("schema_minor", std::int64_t{1});
   json.field("algorithm", core::to_string(options.algorithm));
   json.field("topology", options.topology_spec);
   json.field("aggregate", options.aggregate == core::Aggregate::kSum ? "sum" : "avg");
@@ -185,7 +190,8 @@ std::string net_trial_report_to_json(const NetTrialOptions& options,
   json.field("heartbeats_sent", report.perf.heartbeats_sent);
   json.field("detector_downs", report.perf.detector_downs);
   json.field("detector_ups", report.perf.detector_ups);
-  json.field("mailbox_overflow_blocks", report.perf.mailbox_overflow_blocks);
+  json.field("mailbox_blocked_pushes", report.perf.mailbox_blocked_pushes);
+  json.field("mailbox_rejected_pushes", report.perf.mailbox_rejected_pushes);
   json.field("mailbox_high_watermark", report.perf.mailbox_high_watermark);
   json.end_object();
 
@@ -240,7 +246,8 @@ std::string net_trial_report_to_json(const NetTrialOptions& options,
     json.field("datagrams_sent", s.datagrams_sent);
     json.field("detector_downs", s.detector_downs);
     json.field("detector_ups", s.detector_ups);
-    json.field("mailbox_overflow_blocks", s.mailbox_overflow_blocks);
+    json.field("mailbox_blocked_pushes", s.mailbox_blocked_pushes);
+    json.field("mailbox_rejected_pushes", s.mailbox_rejected_pushes);
     json.field("mailbox_high_watermark", s.mailbox_high_watermark);
     json.key("rx_from");
     json.begin_array();

@@ -12,7 +12,6 @@
 #include <fstream>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -20,6 +19,7 @@
 #include "core/state_io.hpp"
 #include "net/transport.hpp"
 #include "runtime/mailbox.hpp"
+#include "support/annotations.hpp"
 #include "support/binio.hpp"
 #include "support/check.hpp"
 
@@ -32,7 +32,9 @@ namespace {
 // checkpoints: a reader refuses files from another build generation.
 constexpr std::string_view kCkptMagic = "PCFNETCK";
 constexpr std::string_view kResultMagic = "PCFNETRS";
-constexpr std::uint32_t kNetFileVersion = 1;
+// v2: result blob reports blocked and rejected mailbox pushes separately
+// (one extra u64) instead of a single conflated overflow counter.
+constexpr std::uint32_t kNetFileVersion = 2;
 
 [[nodiscard]] std::int64_t now_ms() noexcept {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -275,7 +277,7 @@ class ShardProcess {
       return;
     }
     {
-      const std::scoped_lock lock(rx_mutex_);
+      MutexLock lock(rx_mutex_);
       auto& known_epoch = peer_epoch_[beacon.shard];
       if (beacon.epoch < known_epoch) return;  // pre-restart straggler
       if (beacon.epoch > known_epoch) {
@@ -305,7 +307,7 @@ class ShardProcess {
     last_heard_[from_shard].store(now_ms(), std::memory_order_relaxed);
 
     {
-      const std::scoped_lock lock(rx_mutex_);
+      MutexLock lock(rx_mutex_);
       LinkCounters& link = rx_from_[from_shard];
       const auto [it, fresh_link] = rx_seq_.try_emplace(LinkKey{frame.from, frame.to}, 0);
       if (!fresh_link) {
@@ -352,7 +354,7 @@ class ShardProcess {
       w.u64(seq);
     }
     {
-      const std::scoped_lock lock(rx_mutex_);
+      MutexLock lock(rx_mutex_);
       w.u64(rx_seq_.size());
       for (const auto& [key, seq] : rx_seq_) {
         w.u32(key.first);
@@ -394,12 +396,17 @@ class ShardProcess {
         tx_seq_[{from, to}] = r.u64();
       }
       const std::size_t rx_entries = r.count(16);
-      for (std::size_t e = 0; e < rx_entries; ++e) {
-        const net::NodeId from = r.u32();
-        const net::NodeId to = r.u32();
-        rx_seq_[{from, to}] = r.u64();
+      {
+        // Runs before the RX thread exists, but the lock keeps the guarded-by
+        // contract compiler-checkable instead of special-cased.
+        MutexLock lock(rx_mutex_);
+        for (std::size_t e = 0; e < rx_entries; ++e) {
+          const net::NodeId from = r.u32();
+          const net::NodeId to = r.u32();
+          rx_seq_[{from, to}] = r.u64();
+        }
+        for (auto& e : peer_epoch_) e = r.u32();
       }
-      for (auto& e : peer_epoch_) e = r.u32();
       r.expect_end();
       return next_step;
     } catch (const BinioError&) {
@@ -408,11 +415,13 @@ class ShardProcess {
   }
 
   void write_result(std::uint64_t restored_from) {
-    std::uint64_t overflow = 0;
+    std::uint64_t blocked = 0;
+    std::uint64_t rejected_pushes = 0;
     std::uint64_t watermark = 0;
     for (const auto& box : mailboxes_) {
       const Mailbox::Stats s = box->stats();
-      overflow += s.overflow_blocks;
+      blocked += s.blocked_pushes;
+      rejected_pushes += s.rejected_pushes;
       watermark = std::max(watermark, s.high_watermark);
     }
 
@@ -428,14 +437,20 @@ class ShardProcess {
     w.u64(heartbeats_sent_);
     w.u64(detector_downs_);
     w.u64(detector_ups_);
-    w.u64(overflow);
+    w.u64(blocked);
+    w.u64(rejected_pushes);
     w.u64(watermark);
     w.u64(num_shards_);
-    for (const LinkCounters& link : rx_from_) {
-      w.u64(link.received);
-      w.u64(link.lost);
-      w.u64(link.duplicated);
-      w.u64(link.reordered);
+    {
+      // The RX thread has joined by the time results are written; locking
+      // anyway keeps the access pattern uniform for the analysis.
+      MutexLock lock(rx_mutex_);
+      for (const LinkCounters& link : rx_from_) {
+        w.u64(link.received);
+        w.u64(link.lost);
+        w.u64(link.duplicated);
+        w.u64(link.reordered);
+      }
     }
     w.u64(local_nodes_.size());
     for (std::size_t k = 0; k < local_nodes_.size(); ++k) {
@@ -471,10 +486,10 @@ class ShardProcess {
   // Shared with the receive thread.
   std::atomic<bool> stop_{false};
   std::vector<std::atomic<std::int64_t>> last_heard_;
-  std::mutex rx_mutex_;  ///< guards rx_seq_, peer_epoch_, rx_from_
-  std::map<LinkKey, std::uint64_t> rx_seq_;
-  std::vector<std::uint32_t> peer_epoch_;
-  std::vector<LinkCounters> rx_from_;
+  Mutex rx_mutex_;
+  std::map<LinkKey, std::uint64_t> rx_seq_ PCF_GUARDED_BY(rx_mutex_);
+  std::vector<std::uint32_t> peer_epoch_ PCF_GUARDED_BY(rx_mutex_);
+  std::vector<LinkCounters> rx_from_ PCF_GUARDED_BY(rx_mutex_);
   std::atomic<std::uint64_t> rejected_{0};
 };
 
@@ -497,7 +512,8 @@ bool parse_result(const std::string& dir, std::uint32_t shard, std::size_t num_s
     report.heartbeats_sent = r.u64();
     report.detector_downs = r.u64();
     report.detector_ups = r.u64();
-    report.mailbox_overflow_blocks = r.u64();
+    report.mailbox_blocked_pushes = r.u64();
+    report.mailbox_rejected_pushes = r.u64();
     report.mailbox_high_watermark = r.u64();
     if (r.u64() != num_shards) return false;
     report.rx_from.assign(num_shards, LinkCounters{});

@@ -115,7 +115,12 @@ struct ShardReport {
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t detector_downs = 0;
   std::uint64_t detector_ups = 0;
-  std::uint64_t mailbox_overflow_blocks = 0;
+  /// Backpressure split (Mailbox::Stats): the RX thread uses blocking push(),
+  /// so stalls show up as blocked_pushes; rejected_pushes counts failed
+  /// try_push() and stays 0 under the current RX path — reported anyway so the
+  /// schema does not change if a fail-fast producer is ever added.
+  std::uint64_t mailbox_blocked_pushes = 0;
+  std::uint64_t mailbox_rejected_pushes = 0;
   std::uint64_t mailbox_high_watermark = 0;
   /// RX accounting per sending peer shard (index = peer shard id; the entry
   /// at this shard's own index stays zero).

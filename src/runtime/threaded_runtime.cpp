@@ -108,14 +108,17 @@ void ThreadedRuntime::run(std::size_t steps_per_node) {
   perf_.rounds += steps_per_node;
   perf_.deliveries = delivered_.load(std::memory_order_relaxed);
   perf_.mailbox_dropped = dropped_.load(std::memory_order_relaxed);
-  std::uint64_t overflow = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t rejected = 0;
   std::uint64_t watermark = 0;
   for (const auto& box : mailboxes_) {
     const Mailbox::Stats s = box->stats();
-    overflow += s.overflow_blocks;
+    blocked += s.blocked_pushes;
+    rejected += s.rejected_pushes;
     watermark = std::max(watermark, s.high_watermark);
   }
-  perf_.mailbox_overflow_blocks = overflow;
+  perf_.mailbox_blocked_pushes = blocked;
+  perf_.mailbox_rejected_pushes = rejected;
   perf_.mailbox_high_watermark = watermark;
 }
 
@@ -123,19 +126,19 @@ void ThreadedRuntime::queue_fault(net::NodeId a, net::NodeId b, bool heal) {
   // Validate eagerly so a bad edge surfaces at the call site, not at the next
   // phase boundary where the caller's stack is long gone.
   PCF_CHECK_MSG(topology_.has_edge(a, b), "queue_fault: no such link");
-  const std::scoped_lock lock(pending_faults_mutex_);
+  MutexLock lock(pending_faults_mutex_);
   pending_faults_.push_back({a, b, heal});
 }
 
 std::size_t ThreadedRuntime::pending_faults() const {
-  const std::scoped_lock lock(pending_faults_mutex_);
+  MutexLock lock(pending_faults_mutex_);
   return pending_faults_.size();
 }
 
 void ThreadedRuntime::apply_pending_faults() {
   std::vector<QueuedFault> events;
   {
-    const std::scoped_lock lock(pending_faults_mutex_);
+    MutexLock lock(pending_faults_mutex_);
     events.swap(pending_faults_);
   }
   // Workers are not active at either call site, so the immediate APIs'

@@ -16,7 +16,6 @@
 #include <atomic>
 #include <barrier>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "core/reducer.hpp"
 #include "net/topology.hpp"
 #include "runtime/mailbox.hpp"
+#include "support/annotations.hpp"
 #include "support/perf.hpp"
 
 namespace pcf::runtime {
@@ -37,7 +37,7 @@ struct RuntimeConfig {
   /// Per-node mailbox capacity; 0 = unbounded (the original behavior). With a
   /// bound, workers use non-blocking pushes and drain their own shard while a
   /// destination box is full — backpressure instead of unbounded queues; the
-  /// pressure shows up in PerfCounters::mailbox_overflow_blocks. A blocking
+  /// pressure shows up in PerfCounters::mailbox_rejected_pushes. A blocking
   /// push would deadlock against the per-step barrier (a full hub mailbox
   /// whose owner is already waiting at the barrier), which is why the bounded
   /// path retries with drains instead of waiting.
@@ -108,14 +108,14 @@ class ThreadedRuntime {
   std::atomic<std::size_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};  // bounded mode: envelopes shed after retry
   std::atomic<bool> workers_active_{false};
+  PerfCounters perf_;  // phase-disciplined: written only while workers are down
   struct QueuedFault {
     net::NodeId a;
     net::NodeId b;
     bool heal;
   };
-  mutable std::mutex pending_faults_mutex_;
-  std::vector<QueuedFault> pending_faults_;
-  PerfCounters perf_;
+  mutable Mutex pending_faults_mutex_;
+  std::vector<QueuedFault> pending_faults_ PCF_GUARDED_BY(pending_faults_mutex_);
 };
 
 }  // namespace pcf::runtime

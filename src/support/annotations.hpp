@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file
+/// Clang Thread Safety Analysis annotations plus the annotated lock types the
+/// concurrent layers use (DESIGN.md §11).
+///
+/// The macros expand to clang `capability` attributes when the compiler
+/// understands them and to nothing everywhere else, so gcc builds stay clean
+/// while the clang `thread-safety` preset turns every lock-discipline claim
+/// into a compile error when violated. `std::mutex` itself carries no
+/// capability attribute under libstdc++, so guarding a member with a raw
+/// `std::mutex` would trip `-Wthread-safety-attributes`; pcf::Mutex wraps it
+/// with the attribute attached, and pcf::MutexLock is the matching scoped
+/// capability that still exposes the underlying `std::unique_lock` for
+/// `std::condition_variable::wait`.
+///
+/// Annotations are advisory on gcc, which is why lint rule T1 (docs/TESTING.md)
+/// independently checks that members declared next to a mutex carry
+/// PCF_GUARDED_BY — the contract cannot silently rot on non-clang builds.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PCF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PCF_THREAD_ANNOTATION
+#define PCF_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (a lock); the string names it in diagnostics.
+#define PCF_CAPABILITY(x) PCF_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define PCF_SCOPED_CAPABILITY PCF_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be read or written while holding the named capability.
+#define PCF_GUARDED_BY(x) PCF_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee (not the pointer) is protected by the named capability.
+#define PCF_PT_GUARDED_BY(x) PCF_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability to be held on entry (and keeps it held).
+#define PCF_REQUIRES(...) PCF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability; it must not be held on entry.
+#define PCF_ACQUIRE(...) PCF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability; it must be held on entry.
+#define PCF_RELEASE(...) PCF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `result`.
+#define PCF_TRY_ACQUIRE(result, ...) \
+  PCF_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define PCF_EXCLUDES(...) PCF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define PCF_RETURN_CAPABILITY(x) PCF_THREAD_ANNOTATION(lock_returned(x))
+/// Assert (not acquire) that the capability is held — for code reached only
+/// while locked, e.g. callbacks invoked under the caller's lock.
+#define PCF_ASSERT_CAPABILITY(x) PCF_THREAD_ANNOTATION(assert_capability(x))
+/// Opt a function out of analysis entirely. Use with a written reason.
+#define PCF_NO_THREAD_SAFETY_ANALYSIS PCF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pcf {
+
+/// `std::mutex` with the clang capability attribute attached so members can be
+/// declared PCF_GUARDED_BY(mutex_). Interface-compatible with std::mutex for
+/// lock/unlock/try_lock; `native()` exposes the wrapped mutex for APIs that
+/// need the real type (condition variables via MutexLock::native()).
+class PCF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PCF_ACQUIRE() { m_.lock(); }
+  void unlock() PCF_RELEASE() { m_.unlock(); }
+  bool try_lock() PCF_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// Escape hatch for std APIs; accesses through it are not analyzed.
+  std::mutex& native() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock for pcf::Mutex, annotated so clang tracks the critical section.
+/// Wraps `std::unique_lock` (not `scoped_lock`) because the socket runtime and
+/// mailbox park on condition variables: `cv.wait(lock.native())` keeps the
+/// capability held across the wait from the analysis's point of view, which
+/// matches the runtime guarantee that `wait` reacquires before returning.
+class PCF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) PCF_ACQUIRE(m) : lock_(m.native()) {}
+  ~MutexLock() PCF_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying unique_lock, for `std::condition_variable::wait`.
+  std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace pcf

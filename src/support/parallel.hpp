@@ -16,9 +16,10 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/annotations.hpp"
 
 namespace pcf {
 
@@ -50,8 +51,11 @@ void parallel_for_index(std::size_t n, std::size_t threads, Fn&& fn) {
   }
 
   std::atomic<std::size_t> next{0};
+  // error_mutex guards first_error (annotated lock type so the clang
+  // thread-safety preset tracks the critical section; GUARDED_BY itself only
+  // attaches to members, hence the comment-level contract here).
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -59,7 +63,7 @@ void parallel_for_index(std::size_t n, std::size_t threads, Fn&& fn) {
       try {
         fn(i);
       } catch (...) {
-        const std::scoped_lock lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }

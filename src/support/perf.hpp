@@ -102,7 +102,11 @@ class PerfCounters {
   std::uint64_t detector_ups = 0;         ///< heartbeat resumptions (link-up)
 
   // ---- bounded-mailbox backpressure (threaded + socket runtimes) ----
-  std::uint64_t mailbox_overflow_blocks = 0;  ///< pushes that found a box full
+  // Two distinct signals: blocked pushes stall a producer thread (socket RX
+  // path), rejected pushes fail fast and make the caller drain-and-retry
+  // (threaded workers). See Mailbox::Stats.
+  std::uint64_t mailbox_blocked_pushes = 0;   ///< blocking push() calls that waited on a full box
+  std::uint64_t mailbox_rejected_pushes = 0;  ///< try_push() calls that failed on a full box
   std::uint64_t mailbox_high_watermark = 0;   ///< max queue length (merge: max)
   std::uint64_t mailbox_dropped = 0;          ///< envelopes shed after retry failed
 

@@ -13,6 +13,7 @@
 
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/lexer.hpp"
 #include "tools/lint/rules.hpp"
 
@@ -180,6 +181,8 @@ std::string_view to_string(Rule rule) noexcept {
     case Rule::kR1: return "R1";
     case Rule::kF1: return "F1";
     case Rule::kS1: return "S1";
+    case Rule::kL1: return "L1";
+    case Rule::kT1: return "T1";
     case Rule::kLnt: return "LNT";
   }
   return "?";
@@ -202,6 +205,12 @@ std::string_view describe(Rule rule) noexcept {
     case Rule::kS1:
       return "socket/process syscalls only inside src/runtime/{udp,socket_runtime} — "
              "everything else stays transport-agnostic";
+    case Rule::kL1:
+      return "layer DAG: includes follow support -> net.graph -> core -> "
+             "{net.transport,sim,linalg} -> {runtime,bench,tools}; include cycles are errors";
+    case Rule::kT1:
+      return "members within 40 tokens of a mutex/condition_variable member need "
+             "PCF_GUARDED_BY (src/runtime + support/parallel.hpp)";
     case Rule::kLnt:
       return "suppression hygiene: allow(...) must name a known rule, carry a reason, and fire";
   }
@@ -215,7 +224,7 @@ Rule parse_rule(std::string_view name) {
     if (upper == to_string(rule)) return rule;
   }
   throw ContractViolation("pcflow-lint: unknown rule '" + std::string(name) +
-                          "' (known: D1 D2 D3 D4 R1 F1 S1 LNT)");
+                          "' (known: D1 D2 D3 D4 R1 F1 S1 L1 T1 LNT)");
 }
 
 std::vector<Diagnostic> lint_source(std::string_view virtual_path, std::string_view source,
@@ -278,13 +287,20 @@ RunResult run_files(const std::filesystem::path& root, const std::vector<std::st
     work.emplace_back(rel.generic_string(), disk);
   }
   std::sort(work.begin(), work.end());
+  std::vector<std::pair<std::string, std::vector<detail::IncludeRef>>> include_graph;
   for (const auto& [virtual_path, disk] : work) {
     const std::string source = read_file(disk);
     auto diags = lint_source(virtual_path, source, options);
     result.diagnostics.insert(result.diagnostics.end(),
                               std::make_move_iterator(diags.begin()),
                               std::make_move_iterator(diags.end()));
+    if (options.rule_enabled(Rule::kL1)) {
+      include_graph.emplace_back(virtual_path, detail::collect_includes(lex::tokenize(source)));
+    }
     ++result.files_scanned;
+  }
+  if (options.rule_enabled(Rule::kL1)) {
+    detail::check_include_cycles(include_graph, result.diagnostics);
   }
   sort_diagnostics(result.diagnostics);
   return result;
@@ -320,16 +336,47 @@ std::string format_report(const RunResult& result, bool quiet) {
   return os.str();
 }
 
+std::string format_report_json(const RunResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "pcflow-lint");
+  json.field("schema_version", std::int64_t{1});
+  json.field("files_scanned", static_cast<std::uint64_t>(result.files_scanned));
+  json.field("diagnostic_count", static_cast<std::uint64_t>(result.diagnostics.size()));
+  json.key("diagnostics");
+  json.begin_array();
+  for (const Diagnostic& diag : result.diagnostics) {
+    json.begin_object();
+    json.field("file", diag.file);
+    json.field("line", static_cast<std::uint64_t>(diag.line));
+    json.field("col", static_cast<std::uint64_t>(diag.col));
+    json.field("rule", to_string(diag.rule));
+    json.field("message", diag.message);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str() + "\n";
+}
+
 int run_cli(int argc, const char* const* argv) {
   try {
     CliFlags flags;
     flags.define("root", std::string("."), "project root to scan (src/, bench/, examples/)");
     flags.define("rules", std::string{},
                  "comma-separated rules to enable (default: all of D1,D2,D3,R1,F1,LNT)");
+    flags.define("rule", std::string{}, "alias for --rules (merged with it)");
     flags.define("disable", std::string{}, "comma-separated rules to disable");
-    flags.define("quiet", false, "omit the summary line");
+    flags.define("format", std::string("text"), "report format: text | json");
+    flags.define("quiet", false, "omit the summary line (text format only)");
     flags.define("list-rules", false, "print the rule catalog and exit");
     if (!flags.parse(argc, argv)) return 0;
+
+    const std::string format = flags.get_string("format");
+    if (format != "text" && format != "json") {
+      throw ContractViolation("pcflow-lint: unknown --format '" + format +
+                              "' (known: text json)");
+    }
 
     if (flags.get_bool("list-rules")) {
       for (const Rule rule : kAllRules) {
@@ -342,6 +389,13 @@ int run_cli(int argc, const char* const* argv) {
     Options options;
     for (const std::string_view name : split_commas(flags.get_string("rules"))) {
       options.enabled.push_back(parse_rule(name));
+    }
+    for (const std::string_view name : split_commas(flags.get_string("rule"))) {
+      const Rule rule = parse_rule(name);
+      if (std::find(options.enabled.begin(), options.enabled.end(), rule) ==
+          options.enabled.end()) {
+        options.enabled.push_back(rule);
+      }
     }
     const auto disabled = split_commas(flags.get_string("disable"));
     if (!disabled.empty()) {
@@ -359,7 +413,9 @@ int run_cli(int argc, const char* const* argv) {
     const RunResult result = flags.positional().empty()
                                  ? run_directory(root, options)
                                  : run_files(root, flags.positional(), options);
-    const std::string report = format_report(result, flags.get_bool("quiet"));
+    const std::string report = format == "json"
+                                   ? format_report_json(result)
+                                   : format_report(result, flags.get_bool("quiet"));
     std::fputs(report.c_str(), stdout);
     return result.diagnostics.empty() ? 0 : 1;
   } catch (const ContractViolation& e) {

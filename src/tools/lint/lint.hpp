@@ -43,6 +43,19 @@
 //       even the rest of src/runtime stay transport-agnostic; that is what
 //       lets one protocol implementation run under the simulator, the
 //       threaded runtime and real UDP unchanged.
+//   L1  layer DAG: cross-directory includes must follow
+//       support -> net.graph -> core -> {net.transport, sim, linalg} ->
+//       {runtime, bench, tools} (src/net splits into the pure graph layer
+//       below core and transport.* above it, mirroring the pcf_net /
+//       pcf_transport CMake targets). src/core may never include sim/,
+//       runtime/ or bench/. In whole-repo mode (run_directory / run_files)
+//       L1 additionally builds the file-level include graph and reports any
+//       cycle; cycle diagnostics are structural and cannot be suppressed.
+//   T1  guarded-by presence: in src/runtime and support/parallel.hpp, a data
+//       member declared within 40 tokens of a mutex / condition_variable
+//       member must carry PCF_GUARDED_BY(...) (support/annotations.hpp).
+//       Clang proves the annotations right (-Wthread-safety); T1 is what
+//       keeps them from silently rotting on gcc builds, which ignore them.
 //   LNT suppression hygiene: every `pcflow-lint: allow(...)` must name a
 //       known rule, carry a non-empty reason, and actually suppress
 //       something. LNT itself cannot be suppressed.
@@ -60,10 +73,10 @@
 
 namespace pcf::lint {
 
-enum class Rule { kD1, kD2, kD3, kD4, kR1, kF1, kS1, kLnt };
+enum class Rule { kD1, kD2, kD3, kD4, kR1, kF1, kS1, kL1, kT1, kLnt };
 
-inline constexpr Rule kAllRules[] = {Rule::kD1, Rule::kD2, Rule::kD3, Rule::kD4,
-                                     Rule::kR1, Rule::kF1, Rule::kS1, Rule::kLnt};
+inline constexpr Rule kAllRules[] = {Rule::kD1, Rule::kD2, Rule::kD3, Rule::kD4, Rule::kR1,
+                                     Rule::kF1, Rule::kS1, Rule::kL1, Rule::kT1, Rule::kLnt};
 
 [[nodiscard]] std::string_view to_string(Rule rule) noexcept;
 /// One-line human description used by --list-rules.
@@ -106,6 +119,9 @@ struct RunResult {
                                       const Options& options = {});
 
 /// Lints an explicit file list (paths relative to `root` or absolute).
+/// This is also where the cross-TU half of L1 runs: the include graph over
+/// the scanned set is checked for cycles (per-file band checks happen inside
+/// lint_source like every other rule).
 [[nodiscard]] RunResult run_files(const std::filesystem::path& root,
                                   const std::vector<std::string>& files,
                                   const Options& options = {});
@@ -113,6 +129,13 @@ struct RunResult {
 /// Renders `file:line:col: RULE: message` lines plus a trailing summary.
 /// Deterministic: same inputs, same bytes.
 [[nodiscard]] std::string format_report(const RunResult& result, bool quiet = false);
+
+/// Renders the same result as JSON (`pcflow lint --format=json`):
+/// schema "pcflow-lint" version 1, fixed key order, byte-deterministic.
+/// Shape: { schema, schema_version, files_scanned, diagnostic_count,
+/// diagnostics: [{file, line, col, rule, message}...] } with diagnostics in
+/// the same (file, line, col, rule, message) order as the text report.
+[[nodiscard]] std::string format_report_json(const RunResult& result);
 
 /// Entry point shared by the standalone `pcflow-lint` binary and the
 /// `pcflow lint` subcommand. Returns the process exit code: 0 clean,

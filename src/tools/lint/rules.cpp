@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdlib>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "tools/lint/rules.hpp"
 
@@ -493,6 +495,238 @@ void rule_s1(std::string_view path, const std::vector<Token>& code,
   }
 }
 
+// ---------------------------------------------------------------- L1 -------
+
+/// A file's place in the layer DAG. Ranks mirror the CMake target graph:
+/// an include may only point at an equal or lower rank. src/net splits in
+/// two because the build splits it in two: topology/tree_schedule are pure
+/// graph data structures BELOW core (pcf_core links pcf_net), while
+/// transport.* frames core::Packet and sits ABOVE core (pcf_transport links
+/// pcf_core). Rank -1 = outside the layered tree (no band check).
+struct Layer {
+  std::string_view name;
+  int rank = -1;
+};
+
+[[nodiscard]] Layer layer_of(std::string_view path) {
+  if (starts_with(path, "src/support/")) return {"support", 0};
+  if (starts_with(path, "src/net/transport.")) return {"net.transport", 3};
+  if (starts_with(path, "src/net/")) return {"net.graph", 1};
+  if (starts_with(path, "src/core/")) return {"core", 2};
+  if (starts_with(path, "src/sim/")) return {"sim", 3};
+  if (starts_with(path, "src/linalg/")) return {"linalg", 3};
+  if (starts_with(path, "src/runtime/")) return {"runtime", 4};
+  if (starts_with(path, "src/bench/")) return {"bench", 4};
+  if (starts_with(path, "src/tools/")) return {"tools", 4};
+  if (starts_with(path, "bench/")) return {"bench-harness", 5};
+  if (starts_with(path, "examples/")) return {"examples", 5};
+  return {};
+}
+
+/// Strips the surrounding quotes off a kString token holding an include path;
+/// empty when the token is not a quoted string.
+[[nodiscard]] std::string_view include_target(const Token& tok) noexcept {
+  std::string_view text = tok.text;
+  if (text.size() < 2 || text.front() != '"' || text.back() != '"') return {};
+  return text.substr(1, text.size() - 2);
+}
+
+void rule_l1(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  const Layer from = layer_of(path);
+  if (from.rank < 0) return;
+  for (std::size_t i = 2; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kString || !is_ident(code[i - 1], "include") ||
+        !is_punct(code[i - 2], "#")) {
+      continue;
+    }
+    const std::string_view target = include_target(code[i]);
+    if (target.empty()) continue;
+    const Layer to = layer_of("src/" + std::string(target));
+    if (to.rank < 0 || to.rank <= from.rank) continue;
+    std::ostringstream os;
+    os << "layering violation: `" << from.name << "` includes \"" << target << "\" (layer `"
+       << to.name << "`); the layer DAG is support -> net.graph -> core -> "
+          "{net.transport, sim, linalg} -> {runtime, bench, tools}";
+    emit(out, path, code[i], Rule::kL1, os.str());
+  }
+}
+
+// ---------------------------------------------------------------- T1 -------
+
+/// T1 scope: the concurrent runtime plus the one concurrent support header.
+[[nodiscard]] bool is_t1_path(std::string_view path) {
+  return starts_with(path, "src/runtime/") || path == "src/support/parallel.hpp";
+}
+
+/// Member tokens that make a declaration a synchronization primitive —
+/// std types plus the annotated pcf::Mutex wrapper.
+constexpr std::array<std::string_view, 7> kT1SyncNames = {
+    "mutex",    "shared_mutex",       "recursive_mutex",       "timed_mutex",
+    "Mutex",    "condition_variable", "condition_variable_any"};
+
+/// How far (in tokens of the original stream) past a sync member the
+/// guarded-by requirement reaches. Skipped function bodies still count
+/// toward the distance, so the window decays naturally inside big classes.
+constexpr std::size_t kT1Window = 40;
+
+/// Index one past the matching `}` for the `{` at `i`.
+[[nodiscard]] std::size_t skip_braces(const std::vector<Token>& code, std::size_t i) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (is_punct(code[i], "{")) ++depth;
+    if (is_punct(code[i], "}") && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+/// One class-body member declaration, split on `;` / skipped bodies.
+struct MemberChunk {
+  std::vector<const Token*> tokens;  ///< brace-skipped bodies excluded
+  std::size_t begin = 0;             ///< original-stream index of first token
+};
+
+[[nodiscard]] bool chunk_has_ident(const MemberChunk& chunk, std::string_view name) {
+  return std::any_of(chunk.tokens.begin(), chunk.tokens.end(),
+                     [&](const Token* t) { return is_ident(*t, name); });
+}
+
+[[nodiscard]] bool chunk_is_sync(const MemberChunk& chunk) {
+  return std::any_of(chunk.tokens.begin(), chunk.tokens.end(), [](const Token* t) {
+    return t->kind == TokenKind::kIdentifier &&
+           std::find(kT1SyncNames.begin(), kT1SyncNames.end(), t->text) != kT1SyncNames.end();
+  });
+}
+
+/// Chunks that cannot (or need not) carry PCF_GUARDED_BY: nested type
+/// definitions, aliases, functions (anything with a parameter list), and
+/// atomics — atomics are their own synchronization story.
+[[nodiscard]] bool chunk_is_exempt(const MemberChunk& chunk) {
+  if (chunk.tokens.empty()) return true;
+  static constexpr std::array<std::string_view, 9> kDeclKeywords = {
+      "struct", "class", "enum", "union", "using", "friend", "typedef", "template", "static"};
+  if (chunk.tokens.front()->kind == TokenKind::kIdentifier &&
+      std::find(kDeclKeywords.begin(), kDeclKeywords.end(), chunk.tokens.front()->text) !=
+          kDeclKeywords.end()) {
+    return true;
+  }
+  if (std::any_of(chunk.tokens.begin(), chunk.tokens.end(),
+                  [](const Token* t) { return is_punct(*t, "("); })) {
+    return true;  // function-ish (declaration, definition or ctor)
+  }
+  return chunk_has_ident(chunk, "atomic");
+}
+
+/// The declared name: last identifier at template depth 0 before an
+/// initializer. Falls back to the first token for pathological chunks.
+[[nodiscard]] const Token* chunk_name(const MemberChunk& chunk) {
+  const Token* name = chunk.tokens.front();
+  int angle_depth = 0;
+  for (const Token* t : chunk.tokens) {
+    if (is_punct(*t, "<")) ++angle_depth;
+    if (is_punct(*t, ">")) --angle_depth;
+    if (is_punct(*t, ">>")) angle_depth -= 2;
+    if (is_punct(*t, "=") || is_punct(*t, "{")) break;
+    if (angle_depth <= 0 && t->kind == TokenKind::kIdentifier) name = t;
+  }
+  return name;
+}
+
+/// Scans one class body (code[open] == `{`); returns the index one past the
+/// closing `}`. Recurses into nested class/struct/union definitions.
+std::size_t t1_scan_class_body(std::string_view path, const std::vector<Token>& code,
+                               std::size_t open, std::vector<Diagnostic>& out) {
+  // No sync member seen yet: npos disarms the window.
+  std::size_t anchor = std::string_view::npos;
+  MemberChunk chunk;
+  const auto flush = [&](std::size_t end_index) {
+    // Leading access specifiers belong to the section, not the member.
+    while (chunk.tokens.size() >= 2 &&
+           (is_ident(*chunk.tokens[0], "public") || is_ident(*chunk.tokens[0], "private") ||
+            is_ident(*chunk.tokens[0], "protected")) &&
+           is_punct(*chunk.tokens[1], ":")) {
+      chunk.tokens.erase(chunk.tokens.begin(), chunk.tokens.begin() + 2);
+      if (!chunk.tokens.empty()) chunk.begin += 2;
+    }
+    if (chunk.tokens.empty()) return;
+    if (chunk_is_sync(chunk)) {
+      anchor = end_index;
+    } else if (anchor != std::string_view::npos && chunk.begin - anchor <= kT1Window &&
+               !chunk_is_exempt(chunk) && !chunk_has_ident(chunk, "PCF_GUARDED_BY") &&
+               !chunk_has_ident(chunk, "PCF_PT_GUARDED_BY")) {
+      const Token* name = chunk_name(chunk);
+      std::ostringstream os;
+      os << "member `" << name->text << "` sits within " << kT1Window
+         << " tokens of a mutex/condition_variable member but carries no PCF_GUARDED_BY — "
+            "annotate which lock guards it (support/annotations.hpp) or move it out of the "
+            "lock cluster";
+      emit(out, path, *name, Rule::kT1, os.str());
+    }
+  };
+
+  std::size_t i = open + 1;
+  while (i < code.size() && !is_punct(code[i], "}")) {
+    const Token& tok = code[i];
+    if (is_punct(tok, ";")) {
+      flush(i);
+      chunk = {};
+      ++i;
+      continue;
+    }
+    if (is_punct(tok, "{")) {
+      const bool nested_type =
+          !chunk.tokens.empty() && chunk.tokens.front()->kind == TokenKind::kIdentifier &&
+          (chunk.tokens.front()->text == "struct" || chunk.tokens.front()->text == "class" ||
+           chunk.tokens.front()->text == "union");
+      if (nested_type) {
+        i = t1_scan_class_body(path, code, i, out);
+      } else {
+        i = skip_braces(code, i);  // function body or brace initializer
+      }
+      continue;  // the chunk keeps accumulating until `;` (or ends unterminated)
+    }
+    if (chunk.tokens.empty()) chunk.begin = i;
+    chunk.tokens.push_back(&tok);
+    ++i;
+  }
+  flush(i);
+  return i < code.size() ? i + 1 : i;
+}
+
+void rule_t1(std::string_view path, const std::vector<Token>& code,
+             std::vector<Diagnostic>& out) {
+  if (!is_t1_path(path)) return;
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if (is_ident(code[i], "template") && is_punct(code[i + 1], "<")) {
+      i = skip_template_args(code, i + 1) - 1;  // `class T` here is not a definition
+      continue;
+    }
+    if (!(is_ident(code[i], "class") || is_ident(code[i], "struct")) ||
+        (i > 0 && is_ident(code[i - 1], "enum"))) {
+      continue;
+    }
+    if (code[i + 1].kind != TokenKind::kIdentifier) continue;
+    // Walk to the body `{`, skipping base clauses; bail on `;` (forward
+    // declaration) or `(` (elaborated type in a declarator).
+    std::size_t j = i + 2;
+    bool found_body = false;
+    while (j < code.size()) {
+      if (is_punct(code[j], "{")) {
+        found_body = true;
+        break;
+      }
+      if (is_punct(code[j], ";") || is_punct(code[j], "(")) break;
+      if (is_punct(code[j], "<")) {
+        j = skip_template_args(code, j);
+        continue;
+      }
+      ++j;
+    }
+    if (!found_body) continue;
+    i = t1_scan_class_body(path, code, j, out) - 1;
+  }
+}
+
 }  // namespace
 
 void run_rules(std::string_view path, const std::vector<Token>& code, const Options& options,
@@ -504,6 +738,78 @@ void run_rules(std::string_view path, const std::vector<Token>& code, const Opti
   if (options.rule_enabled(Rule::kR1)) rule_r1(path, code, out);
   if (options.rule_enabled(Rule::kF1)) rule_f1(path, code, out);
   if (options.rule_enabled(Rule::kS1)) rule_s1(path, code, out);
+  if (options.rule_enabled(Rule::kL1)) rule_l1(path, code, out);
+  if (options.rule_enabled(Rule::kT1)) rule_t1(path, code, out);
+}
+
+std::vector<IncludeRef> collect_includes(const std::vector<Token>& tokens) {
+  std::vector<IncludeRef> out;
+  std::vector<const Token*> code;
+  code.reserve(tokens.size());
+  for (const Token& tok : tokens) {
+    if (tok.kind != TokenKind::kComment) code.push_back(&tok);
+  }
+  for (std::size_t i = 2; i < code.size(); ++i) {
+    if (code[i]->kind != TokenKind::kString || !is_ident(*code[i - 1], "include") ||
+        !is_punct(*code[i - 2], "#")) {
+      continue;
+    }
+    const std::string_view target = include_target(*code[i]);
+    if (!target.empty()) {
+      out.push_back({std::string(target), code[i]->line, code[i]->col});
+    }
+  }
+  return out;
+}
+
+void check_include_cycles(
+    const std::vector<std::pair<std::string, std::vector<IncludeRef>>>& files,
+    std::vector<Diagnostic>& out) {
+  std::vector<std::size_t> order(files.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return files[a].first < files[b].first; });
+
+  std::map<std::string_view, std::size_t> index;
+  for (const std::size_t i : order) index.emplace(files[i].first, i);
+  const auto resolve = [&](std::string_view from, const std::string& target) {
+    const std::size_t slash = from.rfind('/');
+    const std::string sibling =
+        slash == std::string_view::npos ? target : std::string(from.substr(0, slash + 1)) + target;
+    for (const std::string& candidate : {"src/" + target, sibling, target}) {
+      const auto it = index.find(candidate);
+      if (it != index.end()) return it->second;
+    }
+    return files.size();  // not part of the scanned set (system/external)
+  };
+
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files.size(), Color::kWhite);
+  std::vector<std::size_t> stack;
+  const auto dfs = [&](auto&& self, std::size_t u) -> void {
+    color[u] = Color::kGray;
+    stack.push_back(u);
+    for (const IncludeRef& inc : files[u].second) {
+      const std::size_t v = resolve(files[u].first, inc.target);
+      if (v >= files.size()) continue;
+      if (color[v] == Color::kGray) {
+        std::ostringstream os;
+        os << "include cycle: ";
+        for (auto it = std::find(stack.begin(), stack.end(), v); it != stack.end(); ++it) {
+          os << files[*it].first << " -> ";
+        }
+        os << files[v].first << " (the layer DAG must stay acyclic)";
+        out.push_back({files[u].first, inc.line, inc.col, Rule::kL1, os.str()});
+      } else if (color[v] == Color::kWhite) {
+        self(self, v);
+      }
+    }
+    stack.pop_back();
+    color[u] = Color::kBlack;
+  };
+  for (const std::size_t i : order) {
+    if (color[i] == Color::kWhite) dfs(dfs, i);
+  }
 }
 
 }  // namespace pcf::lint::detail

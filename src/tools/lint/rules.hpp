@@ -17,4 +17,25 @@ namespace pcf::lint::detail {
 void run_rules(std::string_view path, const std::vector<lex::Token>& code,
                const Options& options, std::vector<Diagnostic>& out);
 
+/// One `#include "..."` directive (quoted includes only — system headers are
+/// not part of the project layer graph).
+struct IncludeRef {
+  std::string target;  ///< include string without the quotes
+  std::size_t line = 0;
+  std::size_t col = 0;
+};
+
+/// Extracts the quoted includes from a raw token stream (comments tolerated).
+[[nodiscard]] std::vector<IncludeRef> collect_includes(const std::vector<lex::Token>& tokens);
+
+/// Cross-TU half of L1: DFS over the file-level include graph of the scanned
+/// set, one diagnostic per back edge found. Include targets are resolved
+/// against the scanned set only ("src/" + target, then sibling-relative, then
+/// verbatim), so the pass is filesystem-independent and deterministic.
+/// Cycle diagnostics bypass suppressions by design: a cycle has no single
+/// owning line to annotate.
+void check_include_cycles(
+    const std::vector<std::pair<std::string, std::vector<IncludeRef>>>& files,
+    std::vector<Diagnostic>& out);
+
 }  // namespace pcf::lint::detail

@@ -1,0 +1,7 @@
+// L1 fixture: core reaching UP the layer DAG. The downward includes (net
+// graph layer, support) stay clean; the sim and runtime ones fire.
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "runtime/mailbox.hpp"
+
+int core_stays_below_sim_and_runtime() { return 0; }

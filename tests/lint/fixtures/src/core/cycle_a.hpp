@@ -1,0 +1,6 @@
+// L1 cycle fixture, half A: same-layer include, so the per-file band check
+// stays quiet — only the cross-TU cycle pass may complain.
+#pragma once
+#include "core/cycle_b.hpp"
+
+inline int cycle_a() { return 1; }

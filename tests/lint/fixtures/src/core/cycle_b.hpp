@@ -1,0 +1,6 @@
+// L1 cycle fixture, half B: closes the loop back to A. The DFS reaches A
+// first (sorted order), so the back edge — and the diagnostic — lands here.
+#pragma once
+#include "core/cycle_a.hpp"
+
+inline int cycle_b() { return 2; }

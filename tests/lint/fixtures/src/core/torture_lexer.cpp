@@ -1,0 +1,7 @@
+// Lexer-hardening fixture (CRLF line endings, written by a printf in the
+// repo tooling): banned names inside a raw string stay literal, a comment
+// splice swallows the next line, and only the real call below fires.
+const char* kRaw = R"(std::rand() #include <unordered_map> time(nullptr))";
+// the backslash splices the next line into this comment: \
+std::mt19937 swallowed_by_the_comment;
+long tick = std::time(nullptr);

@@ -1,0 +1,21 @@
+// T1 fixture: plain data members clustered against a mutex member with no
+// PCF_GUARDED_BY annotation. The method declaration above the mutex and the
+// atomic below the cluster stay clean.
+#pragma once
+#include <atomic>
+#include <mutex>
+
+namespace fixture {
+
+class BadGuard {
+ public:
+  void close();
+
+ private:
+  std::mutex mutex_;
+  int counter_ = 0;
+  bool closed_ = false;
+  std::atomic<int> hits_{0};
+};
+
+}  // namespace fixture

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,7 +39,7 @@ constexpr const char* kFixtureDir = PCF_LINT_FIXTURE_DIR;
 
 TEST(LintFixtures, WholeTreeMatchesAnnotations) {
   const RunResult result = run_directory(kFixtureDir);
-  EXPECT_EQ(result.files_scanned, 9u);
+  EXPECT_EQ(result.files_scanned, 14u);
   const std::vector<std::string> expected = {
       "src/core/bad_clock.cpp:15:D1",      // std::time
       "src/core/bad_clock.cpp:16:D1",      // bare time( call
@@ -46,6 +47,8 @@ TEST(LintFixtures, WholeTreeMatchesAnnotations) {
       "src/core/bad_clock.cpp:18:D1",      // system_clock
       "src/core/bad_clock.cpp:19:D1",      // getenv
       "src/core/bad_clock.cpp:20:D1",      // rand
+      "src/core/bad_layering.cpp:4:L1",    // core includes sim/
+      "src/core/bad_layering.cpp:5:L1",    // core includes runtime/
       "src/core/bad_reducer.hpp:17:R1",    // ForgetfulReducer misses two hooks
       "src/core/bad_reducer.hpp:37:R1",    // TreeishReducer misses update_data
       "src/core/bad_reducer.hpp:43:R1",    // HybridishReducer misses on_link_up
@@ -58,10 +61,15 @@ TEST(LintFixtures, WholeTreeMatchesAnnotations) {
       "src/core/bad_unordered.cpp:4:D2",   // #include <unordered_map>
       "src/core/bad_unordered.cpp:5:D2",   // #include <unordered_set>
       "src/core/bad_unordered.cpp:8:D2",   // naked declaration
+      "src/core/cycle_b.hpp:4:L1",         // include cycle back edge a -> b -> a
+      "src/core/torture_lexer.cpp:7:D1",   // std::time — the one line the lexer
+                                           // traps (CRLF/raw-string/splice) let through
       "src/linalg/bad_float.cpp:4:F1",     // float type
       "src/linalg/bad_float.cpp:4:F1",     // static_cast<float>
       "src/linalg/bad_float.cpp:5:F1",     // == 1.5
       "src/linalg/bad_float.cpp:6:F1",     // != 2.0e-3
+      "src/runtime/bad_guard.hpp:16:T1",   // counter_ next to mutex_, unannotated
+      "src/runtime/bad_guard.hpp:17:T1",   // closed_ likewise
       "src/runtime/bad_socket.cpp:6:S1",   // #include <sys/socket.h>
       "src/runtime/bad_socket.cpp:7:S1",   // #include <sys/wait.h>
       "src/runtime/bad_socket.cpp:8:S1",   // #include <poll.h>
@@ -94,7 +102,7 @@ TEST(LintFixtures, ReportIsByteDeterministic) {
   const std::string a = format_report(run_directory(kFixtureDir));
   const std::string b = format_report(run_directory(kFixtureDir));
   EXPECT_EQ(a, b);
-  EXPECT_NE(a.find("pcflow-lint: 9 file(s) scanned, 40 diagnostic(s)"), std::string::npos) << a;
+  EXPECT_NE(a.find("pcflow-lint: 14 file(s) scanned, 46 diagnostic(s)"), std::string::npos) << a;
 }
 
 // ------------------------------------------------------------- scoping -----
@@ -260,6 +268,140 @@ TEST(LintRules, F1FloatKeywordOnlyInStatePaths) {
   EXPECT_TRUE(lint_keys("src/sim/a.cpp", "float x = 0;\n").empty());  // D1/D2/D3 path, not F1
 }
 
+// ------------------------------------------------------------------- L1 ----
+
+TEST(LintRulesL1, BandChecksFollowTheLayerDag) {
+  // Downward or same-layer includes are clean...
+  EXPECT_TRUE(lint_keys("src/core/a.cpp", "#include \"net/topology.hpp\"\n").empty());
+  EXPECT_TRUE(lint_keys("src/core/a.cpp", "#include \"support/check.hpp\"\n").empty());
+  EXPECT_TRUE(lint_keys("src/net/transport.cpp", "#include \"core/packet.hpp\"\n").empty());
+  EXPECT_TRUE(lint_keys("src/runtime/a.cpp", "#include \"sim/engine.hpp\"\n").empty());
+  EXPECT_TRUE(lint_keys("src/sim/a.cpp", "#include \"linalg/power.hpp\"\n").empty());
+  // ...upward ones fire. The graph half of src/net sits BELOW core;
+  // transport.* sits above it, mirroring the pcf_net / pcf_transport split.
+  EXPECT_EQ(lint_keys("src/core/a.cpp", "#include \"runtime/mailbox.hpp\"\n"),
+            (std::vector<std::string>{"src/core/a.cpp:1:L1"}));
+  EXPECT_EQ(lint_keys("src/core/a.cpp", "#include \"sim/engine.hpp\"\n").size(), 1u);
+  EXPECT_EQ(lint_keys("src/net/topology.cpp", "#include \"core/packet.hpp\"\n").size(), 1u);
+  EXPECT_EQ(lint_keys("src/support/a.hpp", "#include \"core/packet.hpp\"\n").size(), 1u);
+  // System headers and paths outside the layered tree are no one's business
+  // (of L1's — S1 still owns the OS-header bans).
+  EXPECT_TRUE(lint_keys("src/core/a.cpp", "#include <vector>\n").empty());
+  EXPECT_TRUE(lint_keys("tests/foo.cpp", "#include \"runtime/mailbox.hpp\"\n").empty());
+}
+
+TEST(LintRulesL1, SuppressionWorksForBandViolations) {
+  EXPECT_TRUE(lint_keys("src/core/a.cpp",
+                        "// pcflow-lint: allow(L1) fixture exercises the upward include\n"
+                        "#include \"sim/engine.hpp\"\n")
+                  .empty());
+}
+
+TEST(LintRulesL1, IncludeCycleIsReportedOnTheBackEdge) {
+  const RunResult result =
+      run_files(kFixtureDir, {"src/core/cycle_a.hpp", "src/core/cycle_b.hpp"});
+  EXPECT_EQ(keys(result.diagnostics),
+            (std::vector<std::string>{"src/core/cycle_b.hpp:4:L1"}));
+  EXPECT_NE(result.diagnostics[0].message.find(
+                "src/core/cycle_a.hpp -> src/core/cycle_b.hpp -> src/core/cycle_a.hpp"),
+            std::string::npos);
+  // Disabling L1 silences the cycle pass along with the band checks.
+  Options no_l1;
+  no_l1.enabled = {Rule::kD1, Rule::kLnt};
+  EXPECT_TRUE(
+      run_files(kFixtureDir, {"src/core/cycle_a.hpp", "src/core/cycle_b.hpp"}, no_l1)
+          .diagnostics.empty());
+}
+
+// ------------------------------------------------------------------- T1 ----
+
+TEST(LintRulesT1, FiresOnlyNearSyncMembersAndOnlyInRuntimePaths) {
+  const std::string_view src =
+      "class C {\n"
+      "  int before_ = 0;\n"
+      "  std::mutex mutex_;\n"
+      "  int counter_ = 0;\n"
+      "  std::vector<double> guarded_ PCF_GUARDED_BY(mutex_);\n"
+      "  std::atomic<int> hits_{0};\n"
+      "  void drain();\n"
+      "};\n";
+  // Only counter_: before_ precedes the mutex, guarded_ is annotated, hits_
+  // is atomic, drain() is a function.
+  EXPECT_EQ(lint_keys("src/runtime/a.hpp", src),
+            (std::vector<std::string>{"src/runtime/a.hpp:4:T1"}));
+  EXPECT_EQ(lint_keys("src/support/parallel.hpp", src).size(), 1u);  // in scope
+  EXPECT_TRUE(lint_keys("src/sim/a.hpp", src).empty());              // out of scope
+  EXPECT_TRUE(lint_keys("src/support/other.hpp", src).empty());      // ditto
+}
+
+TEST(LintRulesT1, ConditionVariableAndPcfMutexAnchorTheWindowToo) {
+  EXPECT_EQ(lint_keys("src/runtime/a.hpp",
+                      "class C {\n"
+                      "  std::condition_variable space_;\n"
+                      "  bool full_ = false;\n"
+                      "};\n")
+                .size(),
+            1u);
+  EXPECT_EQ(lint_keys("src/runtime/a.hpp",
+                      "class C {\n"
+                      "  Mutex mutex_;\n"
+                      "  bool stop_ = false;\n"
+                      "};\n")
+                .size(),
+            1u);
+}
+
+TEST(LintRulesT1, WindowExpiresFarFromTheLock) {
+  // Eight 5-token method declarations put the next member 41 tokens past the
+  // mutex — one past the 40-token window, so it no longer needs an annotation.
+  const std::string_view src =
+      "class C {\n"
+      "  std::mutex mutex_;\n"
+      "  void a(); void b(); void c(); void d();\n"
+      "  void e(); void f(); void g(); void h();\n"
+      "  int far_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_keys("src/runtime/a.hpp", src).empty());
+}
+
+TEST(LintRulesT1, NestedTypesAndFreeCodeStayClean) {
+  // The nested struct's own members are scanned (none near a lock), the
+  // using-alias and static member are exempt shapes, and locals inside
+  // function bodies are invisible to a class-member rule.
+  EXPECT_TRUE(lint_keys("src/runtime/a.hpp",
+                        "class C {\n"
+                        "  std::mutex mutex_;\n"
+                        "  struct Inner { int x = 0; };\n"
+                        "  using Clock = int;\n"
+                        "  static constexpr int kN = 3;\n"
+                        "};\n"
+                        "void f() { std::mutex local; int unguarded = 0; }\n")
+                  .empty());
+}
+
+// ------------------------------------------------------------------ json ---
+
+TEST(LintJson, ReportIsByteDeterministicAndVersioned) {
+  const std::string a = format_report_json(run_directory(kFixtureDir));
+  const std::string b = format_report_json(run_directory(kFixtureDir));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\": \"pcflow-lint\""), std::string::npos);
+  EXPECT_NE(a.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"files_scanned\": 14"), std::string::npos);
+  EXPECT_NE(a.find("\"diagnostic_count\": 46"), std::string::npos);
+  EXPECT_NE(a.find("\"rule\": \"L1\""), std::string::npos);
+  EXPECT_NE(a.find("\"rule\": \"T1\""), std::string::npos);
+  EXPECT_EQ(a.back(), '\n');
+}
+
+TEST(LintJson, CleanRunStillCarriesTheEnvelope) {
+  const std::string json =
+      format_report_json(run_files(kFixtureDir, {"src/core/clean.cpp"}));
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostic_count\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\": []"), std::string::npos);
+}
+
 // --------------------------------------------------------- suppression -----
 
 TEST(LintSuppression, TrailingCommentCoversItsOwnLine) {
@@ -386,6 +528,65 @@ TEST(LintCli, RuleFilterFlagsWork) {
     const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--disable=D3,LNT", "--quiet",
                           "src/sim/bad_rng.cpp"};
     EXPECT_EQ(run_cli(5, argv), 0);
+  }
+}
+
+TEST(LintCli, RuleSingularAliasMergesWithRules) {
+  const std::string root_flag = std::string("--root=") + kFixtureDir;
+  {
+    // --rule=R1 alone behaves exactly like --rules=R1.
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--rule=R1", "--quiet",
+                          "src/sim/bad_rng.cpp"};
+    EXPECT_EQ(run_cli(5, argv), 0);
+  }
+  {
+    // Merged with --rules: D3 joins the enabled set, so the RNG fixture fires.
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--rules=R1", "--rule=D3",
+                          "--quiet", "src/sim/bad_rng.cpp"};
+    EXPECT_EQ(run_cli(6, argv), 1);
+  }
+  {
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--rule=bogus"};
+    EXPECT_EQ(run_cli(3, argv), 2);
+  }
+}
+
+TEST(LintCli, ListRulesPinsTheCatalog) {
+  testing::internal::CaptureStdout();
+  const char* argv[] = {"pcflow-lint", "--list-rules"};
+  EXPECT_EQ(run_cli(2, argv), 0);
+  const std::string out = testing::internal::GetCapturedStdout();
+  // ID-first (4-wide column), catalog order, every rule present exactly once.
+  EXPECT_EQ(out.find("D1   "), 0u);
+  std::size_t prev = 0;
+  for (const Rule rule : kAllRules) {
+    const std::size_t at = out.find("\n" + std::string(to_string(rule)) + " ");
+    if (rule == Rule::kD1) continue;  // D1 opens the output, no leading newline
+    EXPECT_NE(at, std::string::npos) << to_string(rule);
+    EXPECT_GT(at, prev) << to_string(rule);
+    prev = at;
+  }
+  EXPECT_NE(out.find("L1   layer DAG"), std::string::npos);
+  EXPECT_NE(out.find("T1   members within 40 tokens"), std::string::npos);
+  EXPECT_NE(out.find("LNT  suppression hygiene"), std::string::npos);
+}
+
+TEST(LintCli, JsonFormatFlagEmitsTheSchema) {
+  const std::string root_flag = std::string("--root=") + kFixtureDir;
+  {
+    testing::internal::CaptureStdout();
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--format=json",
+                          "src/core/bad_layering.cpp"};
+    EXPECT_EQ(run_cli(4, argv), 1);  // exit code contract is format-independent
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_EQ(out.find("{"), 0u);
+    EXPECT_NE(out.find("\"schema\": \"pcflow-lint\""), std::string::npos);
+    EXPECT_NE(out.find("\"rule\": \"L1\""), std::string::npos);
+    EXPECT_NE(out.find("\"file\": \"src/core/bad_layering.cpp\""), std::string::npos);
+  }
+  {
+    const char* argv[] = {"pcflow-lint", root_flag.c_str(), "--format=yaml"};
+    EXPECT_EQ(run_cli(3, argv), 2);  // unknown format is a usage error
   }
 }
 

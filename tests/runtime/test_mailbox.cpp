@@ -52,11 +52,12 @@ TEST(Mailbox, UnboundedNeverOverflows) {
   Mailbox box;  // capacity 0 = unbounded
   EXPECT_EQ(box.capacity(), 0u);
   for (int i = 0; i < 1000; ++i) EXPECT_TRUE(box.push(make_envelope(1, i * 1.0)));
-  EXPECT_EQ(box.stats().overflow_blocks, 0u);
+  EXPECT_EQ(box.stats().blocked_pushes, 0u);
+  EXPECT_EQ(box.stats().rejected_pushes, 0u);
   EXPECT_EQ(box.stats().high_watermark, 1000u);
 }
 
-TEST(Mailbox, TryPushFailsFastWhenFullAndCountsOverflow) {
+TEST(Mailbox, TryPushFailsFastWhenFullAndCountsRejections) {
   Mailbox box(3);
   EXPECT_EQ(box.capacity(), 3u);
   EXPECT_TRUE(box.try_push(make_envelope(1, 1.0)));
@@ -65,7 +66,8 @@ TEST(Mailbox, TryPushFailsFastWhenFullAndCountsOverflow) {
   EXPECT_FALSE(box.try_push(make_envelope(1, 4.0)));
   EXPECT_FALSE(box.try_push(make_envelope(1, 5.0)));
   EXPECT_EQ(box.size(), 3u);
-  EXPECT_EQ(box.stats().overflow_blocks, 2u);
+  EXPECT_EQ(box.stats().rejected_pushes, 2u);
+  EXPECT_EQ(box.stats().blocked_pushes, 0u);  // try_push never blocks
   EXPECT_EQ(box.stats().high_watermark, 3u);
 
   (void)box.drain();
@@ -83,14 +85,36 @@ TEST(Mailbox, BlockingPushWaitsForDrain) {
     // Full: this blocks until the main thread drains.
     EXPECT_TRUE(box.push(make_envelope(2, 3.0)));
   });
-  while (box.stats().overflow_blocks == 0) std::this_thread::yield();
+  while (box.stats().blocked_pushes == 0) std::this_thread::yield();
 
   std::vector<Envelope> received = box.drain();
   producer.join();
   for (auto& envelope : box.drain()) received.push_back(envelope);
   ASSERT_EQ(received.size(), 3u);
   EXPECT_EQ(received.back().from, 2u);
-  EXPECT_EQ(box.stats().overflow_blocks, 1u);
+  EXPECT_EQ(box.stats().blocked_pushes, 1u);
+  EXPECT_EQ(box.stats().rejected_pushes, 0u);  // blocking path never rejects on full
+}
+
+// The two backpressure signals are independent: try_push rejections and
+// blocking-push stalls land in separate counters, so an operator can tell
+// load shedding (rejected) apart from producer stalls (blocked) in the
+// pcflow-net report.
+TEST(Mailbox, BlockedAndRejectedPushesAreCountedSeparately) {
+  Mailbox box(1);
+  EXPECT_TRUE(box.try_push(make_envelope(1, 1.0)));  // box now full
+  EXPECT_FALSE(box.try_push(make_envelope(1, 2.0)));
+  EXPECT_FALSE(box.try_push(make_envelope(1, 3.0)));
+  EXPECT_EQ(box.stats().rejected_pushes, 2u);
+  EXPECT_EQ(box.stats().blocked_pushes, 0u);
+
+  std::thread producer([&box] { EXPECT_TRUE(box.push(make_envelope(2, 4.0))); });
+  while (box.stats().blocked_pushes == 0) std::this_thread::yield();
+  (void)box.drain();
+  producer.join();
+
+  EXPECT_EQ(box.stats().blocked_pushes, 1u);
+  EXPECT_EQ(box.stats().rejected_pushes, 2u);  // untouched by the blocking path
 }
 
 // Shutdown-aware wakeup: producers blocked on a full box must exit with
@@ -107,7 +131,7 @@ TEST(Mailbox, ShutdownWakesBlockedProducersAndRejectsLatePushes) {
       EXPECT_FALSE(box.push(make_envelope(static_cast<net::NodeId>(p + 1), 1.0)));
     });
   }
-  while (box.stats().overflow_blocks < kProducers) std::this_thread::yield();
+  while (box.stats().blocked_pushes < kProducers) std::this_thread::yield();
 
   box.shutdown();
   for (auto& producer : producers) producer.join();

@@ -271,6 +271,10 @@ TEST(ThreadedRuntime, BoundedMailboxesStillConverge) {
   const auto& perf = rt.perf();
   EXPECT_GT(perf.mailbox_high_watermark, 0u);
   EXPECT_LE(perf.mailbox_high_watermark, 2u);  // the bound really held
+  // The threaded runtime only ever try_pushes (blocking in a worker would
+  // deadlock the step barrier), so backpressure must land in rejected, never
+  // in blocked.
+  EXPECT_EQ(perf.mailbox_blocked_pushes, 0u);
   const sim::Oracle oracle(masses);
   for (double e : rt.estimates()) EXPECT_LT(oracle.error_of(e), 1e-8);
 }

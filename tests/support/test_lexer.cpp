@@ -142,6 +142,51 @@ TEST(Lexer, UnterminatedConstructsCloseAtEof) {
   EXPECT_EQ(tokens[1].text, "next_line");
 }
 
+TEST(Lexer, UnterminatedRawStringSwallowsRestOfFile) {
+  // An unterminated raw string closes at EOF: everything after the opener is
+  // literal text, so banned names in it must never surface as identifiers.
+  const auto tokens = tokenize("auto s = R\"(std::rand() time(nullptr)\nstill inside");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "R\"(std::rand() time(nullptr)\nstill inside");
+  // Same input twice: identical tokens (the EOF recovery is deterministic).
+  const auto again = tokenize("auto s = R\"(std::rand() time(nullptr)\nstill inside");
+  ASSERT_EQ(again.size(), tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(again[i].text, tokens[i].text);
+    EXPECT_EQ(again[i].line, tokens[i].line);
+    EXPECT_EQ(again[i].col, tokens[i].col);
+  }
+}
+
+TEST(Lexer, CrlfLineEndingsKeepPositionsAndComments) {
+  // Windows-style endings: `\r` is plain whitespace, `\n` still ends the
+  // line, and a line comment keeps the `\r` but never eats the next line.
+  const auto tokens = tokenize("int x; // note\r\nint y;\r\nint z;\r\n");
+  ASSERT_EQ(tokens.size(), 10u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[3].text, "// note\r");
+  EXPECT_EQ(tokens[4].text, "int");
+  EXPECT_EQ(tokens[4].line, 2u);
+  EXPECT_EQ(tokens[4].col, 1u);
+  EXPECT_EQ(tokens[7].line, 3u);
+}
+
+TEST(Lexer, SplicedLineCommentSwallowsTheNextLine) {
+  // A backslash-newline at the end of a `//` comment splices the next line
+  // INTO the comment (C++ phase 2 runs before comment removal) — code on the
+  // continuation line must not produce tokens, with LF or CRLF endings alike.
+  for (const std::string_view ending : {"\\\n", "\\\r\n"}) {
+    const std::string src =
+        std::string("// swallowed ") + std::string(ending) + "std::rand();\nint after;\n";
+    const auto tokens = tokenize(src);
+    ASSERT_EQ(tokens.size(), 4u) << "ending bytes: " << ending.size();
+    EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+    EXPECT_EQ(tokens[1].text, "int");
+    EXPECT_EQ(tokens[1].line, 3u);  // the splice still advanced the line count
+  }
+}
+
 TEST(Lexer, EmptyAndWhitespaceOnlyInputs) {
   EXPECT_TRUE(tokenize("").empty());
   EXPECT_TRUE(tokenize("  \t\n\r\n").empty());
